@@ -1,0 +1,351 @@
+// Command qsd ("quantum speed of data") regenerates the tables and figures of
+// "Running a Quantum Circuit at the Speed of Data" (ISCA 2008) from the
+// reproduction library.
+//
+// Usage:
+//
+//	qsd <experiment> [flags]
+//
+// Experiments: table1, table2, table3, table4, table5, table6, table7,
+// table8, table9, fig4, fig7, fig8, fig15, fowler, simple-factory,
+// zero-factory, pi8-factory, qalypso, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"speedofdata/internal/circuits"
+	"speedofdata/internal/core"
+	"speedofdata/internal/factory"
+	"speedofdata/internal/iontrap"
+	"speedofdata/internal/microarch"
+	"speedofdata/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qsd", flag.ContinueOnError)
+	bits := fs.Int("bits", 32, "benchmark operand width")
+	trials := fs.Int("trials", 200000, "Monte Carlo trials for fig4")
+	seed := fs.Int64("seed", 1, "Monte Carlo seed for fig4")
+	buckets := fs.Int("buckets", 20, "time buckets for fig7")
+	maxScale := fs.Int("max-scale", 64, "largest resource scale for fig15")
+	benchName := fs.String("benchmark", "QCLA", "benchmark for fig15 (QRCA, QCLA, QFT)")
+	if len(args) == 0 {
+		usage(fs)
+		return fmt.Errorf("missing experiment id")
+	}
+	id := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	e := core.NewExperiments()
+	e.Bits = *bits
+
+	switch id {
+	case "table1", "table4":
+		return printTechnology()
+	case "table2", "table3":
+		return printCharacterization(e, id)
+	case "table5":
+		fmt.Print(unitTable("Table 5: pipelined zero-factory functional units", e.Table5()))
+		return nil
+	case "table7":
+		fmt.Print(unitTable("Table 7: encoded pi/8 factory stages", e.Table7()))
+		return nil
+	case "table6", "zero-factory":
+		_, zero, _ := e.FactoryDesigns()
+		fmt.Print(designTable("Table 6 / Section 4.4.1: pipelined encoded-zero factory", zero))
+		return nil
+	case "table8", "pi8-factory":
+		_, _, pi8 := e.FactoryDesigns()
+		fmt.Print(designTable("Table 8 / Section 4.4.2: encoded pi/8 factory", pi8))
+		return nil
+	case "simple-factory":
+		simple, _, _ := e.FactoryDesigns()
+		fmt.Printf("Simple encoded-zero factory (Section 4.3)\n")
+		fmt.Printf("  latency    : %s = %v us\n", simple.Latency(), simple.LatencyUs())
+		fmt.Printf("  throughput : %.1f encoded ancillae / ms\n", simple.ThroughputPerMs())
+		fmt.Printf("  area       : %v macroblocks\n", simple.Area())
+		return nil
+	case "table9", "qalypso":
+		return printTable9(e)
+	case "fig4":
+		return printFigure4(e, *trials, *seed)
+	case "fig7":
+		return printFigure7(e, *buckets)
+	case "fig8":
+		return printFigure8(e)
+	case "fig15":
+		return printFigure15(e, *benchName, *maxScale)
+	case "fowler":
+		return printFowler(e)
+	case "shor":
+		return printShor(e)
+	case "all":
+		for _, sub := range []string{"table1", "table2", "table3", "table5", "table6", "table7", "table8", "table9", "fig7", "fig8", "fowler"} {
+			fmt.Printf("=== %s ===\n", sub)
+			if err := run(append([]string{sub}, args[1:]...)); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		usage(fs)
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+}
+
+func usage(fs *flag.FlagSet) {
+	fmt.Fprintln(os.Stderr, "usage: qsd <experiment> [flags]")
+	fmt.Fprintln(os.Stderr, "experiments: table1..table9, fig4, fig7, fig8, fig15, fowler, shor,")
+	fmt.Fprintln(os.Stderr, "             simple-factory, zero-factory, pi8-factory, qalypso, all")
+	fs.PrintDefaults()
+}
+
+func printTechnology() error {
+	tech := iontrap.Default()
+	tb := report.Table{
+		Title:   "Tables 1 and 4: ion trap physical operation latencies",
+		Headers: []string{"Operation", "Symbol", "Latency (us)"},
+	}
+	names := map[iontrap.Op]string{
+		iontrap.OpOneQubitGate: "One-Qubit Gate",
+		iontrap.OpTwoQubitGate: "Two-Qubit Gate",
+		iontrap.OpMeasure:      "Measurement",
+		iontrap.OpZeroPrep:     "Zero Prepare",
+		iontrap.OpStraightMove: "Straight Move",
+		iontrap.OpTurn:         "Turn",
+	}
+	for _, op := range iontrap.Ops() {
+		tb.AddRow(names[op], op.String(), float64(tech.LatencyOf(op)))
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func printCharacterization(e core.Experiments, id string) error {
+	rows, err := e.Table2And3()
+	if err != nil {
+		return err
+	}
+	if id == "table2" {
+		tb := report.Table{
+			Title: "Table 2: critical-path latency split (no overlap)",
+			Headers: []string{"Circuit", "Data Op (us)", "%", "QEC Interact (us)", "%",
+				"Ancilla Prep (us)", "%", "Speed-of-data (us)", "Speedup"},
+		}
+		for _, r := range rows {
+			d, i, p := r.Fractions()
+			tb.AddRow(r.Name, float64(r.DataOpLatency), pct(d), float64(r.QECInteractLatency), pct(i),
+				float64(r.AncillaPrepLatency), pct(p), float64(r.SpeedOfDataTime), r.Speedup())
+		}
+		fmt.Print(tb.String())
+		return nil
+	}
+	tb := report.Table{
+		Title:   "Table 3: average encoded ancilla bandwidths at the speed of data",
+		Headers: []string{"Circuit", "Zero ancillae/ms (QEC)", "pi/8 ancillae/ms", "Total gates", "pi/8 gates"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.Name, r.ZeroBandwidthPerMs, r.Pi8BandwidthPerMs, r.TotalGates, r.Pi8Gates)
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func unitTable(title string, rows []core.Table5Row) string {
+	tb := report.Table{
+		Title:   title,
+		Headers: []string{"Functional Unit", "Symbolic Latency", "Latency (us)", "Stages", "In BW (q/ms)", "Out BW (q/ms)", "Area"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.Name, r.SymbolicLatency, r.LatencyUs, r.Stages, r.InBWPerMs, r.OutBWPerMs, r.Area)
+	}
+	return tb.String()
+}
+
+func designTable(title string, d factory.Design) string {
+	tb := report.Table{
+		Title:   title,
+		Headers: []string{"Stage", "Unit", "Count", "Total Height", "Total Area"},
+	}
+	for _, s := range d.Stages {
+		for _, a := range s.Allocations {
+			tb.AddRow(s.Name, a.Unit.Name, a.Count, a.TotalHeight(), float64(a.TotalArea()))
+		}
+	}
+	out := tb.String()
+	out += fmt.Sprintf("functional area %v + crossbar area %v = %v macroblocks; throughput %.1f encoded ancillae/ms\n",
+		d.FunctionalArea(), d.CrossbarArea(), d.TotalArea(), d.ThroughputPerMs)
+	return out
+}
+
+func printTable9(e core.Experiments) error {
+	rows, err := e.Table9()
+	if err != nil {
+		return err
+	}
+	tb := report.Table{
+		Title: "Table 9: area breakdown to generate encoded ancillae at the Table 3 bandwidths",
+		Headers: []string{"Circuit", "Zero BW (/ms)", "Data Area", "%", "QEC Factories", "%",
+			"pi/8 Factories", "%", "Total"},
+	}
+	for _, r := range rows {
+		d, q, p := r.Fractions()
+		tb.AddRow(r.Name, r.ZeroBandwidthPerMs, float64(r.DataArea), pct(d),
+			float64(r.QECFactoryArea), pct(q), float64(r.Pi8FactoryArea), pct(p), float64(r.TotalArea()))
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func printFigure4(e core.Experiments, trials int, seed int64) error {
+	rows, err := e.Figure4(trials, seed)
+	if err != nil {
+		return err
+	}
+	tb := report.Table{
+		Title: "Figure 4: encoded-zero preparation error rates (uncorrectable = logical error after ideal decode)",
+		Headers: []string{"Circuit", "Paper rate", "First-order uncorrectable", "MC uncorrectable", "MC residual",
+			"Verify reject", "Physical ops"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.Name, r.PaperRate, r.FirstOrder.UncorrectableRate, r.MonteCarlo.UncorrectableRate,
+			r.MonteCarlo.ResidualRate, r.MonteCarlo.RejectRate, r.Ops.Total())
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func printFigure7(e core.Experiments, buckets int) error {
+	profiles, err := e.Figure7(buckets)
+	if err != nil {
+		return err
+	}
+	for _, name := range benchmarkOrder(profiles) {
+		s := report.Series{
+			Title:  fmt.Sprintf("Figure 7 (%s): encoded zero ancillae needed per time bucket", name),
+			XLabel: "time (ms)", YLabel: "encoded zero ancillae",
+		}
+		for _, p := range profiles[name] {
+			s.Add(p.TimeMs, float64(p.ZeroAncillae))
+		}
+		fmt.Print(s.String())
+		fmt.Println()
+	}
+	return nil
+}
+
+func printFigure8(e core.Experiments) error {
+	sweeps, err := e.Figure8()
+	if err != nil {
+		return err
+	}
+	for _, name := range benchmarkOrder(sweeps) {
+		s := report.Series{
+			Title:  fmt.Sprintf("Figure 8 (%s): execution time vs steady zero-ancilla throughput", name),
+			XLabel: "ancillae/ms", YLabel: "execution time (ms)",
+		}
+		for _, p := range sweeps[name] {
+			s.Add(p.ThroughputPerMs, p.ExecutionTimeMs)
+		}
+		fmt.Print(s.String())
+		fmt.Println()
+	}
+	return nil
+}
+
+func printFigure15(e core.Experiments, benchName string, maxScale int) error {
+	var bench circuits.Benchmark
+	switch benchName {
+	case "QRCA":
+		bench = circuits.QRCA
+	case "QCLA":
+		bench = circuits.QCLA
+	case "QFT":
+		bench = circuits.QFT
+	default:
+		return fmt.Errorf("unknown benchmark %q", benchName)
+	}
+	curves, err := e.Figure15(bench, maxScale)
+	if err != nil {
+		return err
+	}
+	tb := report.Table{
+		Title:   fmt.Sprintf("Figure 15 (%d-bit %s): execution time vs ancilla factory area", e.Bits, bench),
+		Headers: []string{"Architecture", "Scale", "Factory area (macroblocks)", "Execution time (ms)"},
+	}
+	for _, arch := range microarch.Architectures() {
+		for _, p := range curves[arch].Points {
+			tb.AddRow(arch.String(), p.Scale, p.AreaMacroblocks, p.ExecutionTimeMs)
+		}
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func printFowler(e core.Experiments) error {
+	res, err := e.Fowler(10)
+	if err != nil {
+		return err
+	}
+	tb := report.Table{
+		Title:   "Section 2.5: H/T approximation of pi/2^k rotations",
+		Headers: []string{"k", "Sequence", "Length", "T count", "Error"},
+	}
+	for i, seq := range res.Sequences {
+		tb.AddRow(res.TargetsK[i], seq.Gates, seq.Len(), seq.TCount(), seq.Error)
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("modelled H/T sequence length at 1e-4 precision: %d gates\n\n", res.LengthAt1em4)
+	tb2 := report.Table{
+		Title:   "Figure 6: exact recursive pi/2^k cascade",
+		Headers: []string{"k", "Factories", "Worst-case CX", "Expected CX", "Expected X"},
+	}
+	for _, c := range res.Cascade {
+		tb2.AddRow(c.K, c.AncillaFactories, c.WorstCaseCX, c.ExpectedCX, c.ExpectedX)
+	}
+	fmt.Print(tb2.String())
+	return nil
+}
+
+func printShor(e core.Experiments) error {
+	tb := report.Table{
+		Title: fmt.Sprintf("Extension: Shor's algorithm resource estimate (%d-bit modulus, speed-of-data execution)", e.Bits),
+		Headers: []string{"Adder", "Adder calls", "Exec time (s)", "Zero anc/ms", "pi/8 anc/ms",
+			"Zero factories", "pi/8 factories", "Chip (macroblocks)", "Speedup vs no-overlap"},
+	}
+	ripple, lookahead, err := core.CompareShorAdders(e.Bits, e.Options)
+	if err != nil {
+		return err
+	}
+	for _, est := range []core.ShorEstimate{ripple, lookahead} {
+		tb.AddRow(est.Adder.String(), est.AdderInvocations, est.ExecutionTimeSeconds(),
+			est.ZeroBandwidthPerMs, est.Pi8BandwidthPerMs, est.ZeroFactories, est.Pi8Factories,
+			float64(est.ChipArea), est.Speedup())
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+func benchmarkOrder[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,23 @@
+// Package speedofdata is a from-scratch Go reproduction of "Running a Quantum
+// Circuit at the Speed of Data" (Isailovic, Whitney, Patel, Kubiatowicz,
+// ISCA 2008).
+//
+// The implementation lives under internal/ and is organised by subsystem:
+//
+//   - internal/iontrap   — ion-trap latency and macroblock abstraction (§4.1)
+//   - internal/quantum   — gate set, circuit IR and dataflow DAG
+//   - internal/steane    — the [[7,1,3]] code and ancilla preparation circuits (§2)
+//   - internal/noise     — Monte Carlo / first-order error evaluation (§2.2-2.3)
+//   - internal/fowler    — H/T rotation synthesis and the π/2^k cascade (§2.5)
+//   - internal/circuits  — QRCA, QCLA and QFT benchmark generators (§3.1)
+//   - internal/schedule  — critical-path characterisation and ancilla demand (§3.2-3.3)
+//   - internal/factory   — simple, pipelined zero and π/8 ancilla factories (§4.3-4.4)
+//   - internal/layout    — data regions, movement model and Qalypso tiles (§4.2, §5.3)
+//   - internal/microarch — QLA/CQLA/GQLA/GCQLA/fully-multiplexed simulation (§5.2)
+//   - internal/core      — the top-level speed-of-data analysis and experiment runners
+//   - internal/report    — plain-text table and series rendering
+//
+// The cmd/qsd tool regenerates every table and figure of the paper's
+// evaluation; the benchmarks in bench_test.go wrap the same experiments for
+// `go test -bench`.  See README.md, DESIGN.md and EXPERIMENTS.md.
+package speedofdata

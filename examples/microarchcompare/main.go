@@ -1,0 +1,56 @@
+// Microarchitecture comparison: regenerate the Figure 15 experiment for one
+// benchmark and print the execution-time/area trade-off of QLA, CQLA, their
+// generalisations and the paper's fully-multiplexed ancilla distribution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"speedofdata/internal/circuits"
+	"speedofdata/internal/microarch"
+	"speedofdata/internal/schedule"
+)
+
+func main() {
+	bits := flag.Int("bits", 16, "benchmark width")
+	flag.Parse()
+
+	c, err := circuits.Generate(circuits.QCLA, *bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch, err := schedule.Characterize(c, schedule.DefaultLatencyModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: speed-of-data bound %.1f ms, average demand %.1f zero ancillae/ms\n\n",
+		c.Name, ch.SpeedOfDataTime.Milliseconds(), ch.ZeroBandwidthPerMs)
+
+	base := microarch.DefaultConfig(microarch.FullyMultiplexed)
+	base.CacheSlots = 16
+	base.Pi8BandwidthPerMs = ch.Pi8BandwidthPerMs
+	curves, err := microarch.Figure15(c, microarch.Figure15Config{Base: base, MaxScale: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, arch := range microarch.Architectures() {
+		curve := curves[arch]
+		fmt.Printf("%-18s", arch)
+		for _, p := range curve.Points {
+			fmt.Printf("  [%6.0f mb -> %7.1f ms]", p.AreaMacroblocks, p.ExecutionTimeMs)
+		}
+		fmt.Println()
+	}
+
+	fm := curves[microarch.FullyMultiplexed]
+	gqla := curves[microarch.GQLA]
+	fmt.Printf("\nFully-multiplexed plateau: %.1f ms (reached with %.0f macroblocks of factories)\n",
+		microarch.PlateauTimeMs(fm), microarch.AreaToReach(fm, 1.5))
+	fmt.Printf("GQLA plateau:              %.1f ms (needs %.0f macroblocks to get within 1.5x)\n",
+		microarch.PlateauTimeMs(gqla), microarch.AreaToReach(gqla, 1.5))
+	qla := curves[microarch.QLA].Points[0]
+	fmt.Printf("QLA as proposed:           %.1f ms at %.0f macroblocks\n", qla.ExecutionTimeMs, qla.AreaMacroblocks)
+}

@@ -1,0 +1,45 @@
+// Quickstart: characterise a benchmark kernel, find the ancilla bandwidth it
+// needs to run at the speed of data, and size the factories and chip area to
+// supply it — the end-to-end flow of the paper in a dozen lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"speedofdata/internal/circuits"
+	"speedofdata/internal/core"
+)
+
+func main() {
+	opts := core.DefaultOptions()
+
+	// Analyse the 32-bit quantum carry-lookahead adder, the paper's most
+	// parallel (and hungriest) kernel.
+	analysis, err := core.AnalyzeBenchmark(circuits.QCLA, 32, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ch := analysis.Characterization
+	fmt.Printf("%s\n", analysis.Circuit.Name)
+	fmt.Printf("  gates                   : %d (%d of them pi/8 gates)\n", ch.TotalGates, ch.Pi8Gates)
+	fmt.Printf("  speed-of-data time      : %.1f ms\n", ch.SpeedOfDataTime.Milliseconds())
+	fmt.Printf("  no-overlap time         : %.1f ms (speedup %.1fx from offline ancilla prep)\n",
+		ch.NoOverlapTotal().Milliseconds(), analysis.Speedup())
+	fmt.Printf("  zero-ancilla bandwidth  : %.1f encoded ancillae / ms\n", ch.ZeroBandwidthPerMs)
+	fmt.Printf("  pi/8-ancilla bandwidth  : %.1f encoded ancillae / ms\n", ch.Pi8BandwidthPerMs)
+
+	zeroCount, pi8Count := core.FactoriesForBandwidth(opts.Tech, ch.ZeroBandwidthPerMs, ch.Pi8BandwidthPerMs)
+	fmt.Printf("  factories needed        : %d pipelined zero factories, %d pi/8 factories\n", zeroCount, pi8Count)
+
+	b := analysis.Breakdown
+	dataFrac, qecFrac, pi8Frac := b.Fractions()
+	fmt.Printf("  chip area               : %.0f macroblocks total\n", float64(b.TotalArea()))
+	fmt.Printf("    data region           : %.0f (%.0f%%)\n", float64(b.DataArea), 100*dataFrac)
+	fmt.Printf("    QEC ancilla factories : %.0f (%.0f%%)\n", float64(b.QECFactoryArea), 100*qecFrac)
+	fmt.Printf("    pi/8 ancilla supply   : %.0f (%.0f%%)\n", float64(b.Pi8FactoryArea), 100*pi8Frac)
+
+	fmt.Printf("  Qalypso plan            : %d tiles, %.0f macroblocks, net %.1f zero anc/ms\n",
+		len(analysis.Qalypso.Tiles), float64(analysis.Qalypso.TotalArea()), analysis.Qalypso.ZeroBandwidthPerMs())
+}

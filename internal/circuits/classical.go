@@ -1,0 +1,72 @@
+package circuits
+
+import (
+	"fmt"
+
+	"speedofdata/internal/quantum"
+)
+
+// ReversibleState is a computational-basis state of a circuit, used to verify
+// the adders' arithmetic exactly: every gate in an undecomposed adder (X, CX,
+// Toffoli) permutes basis states, so classical simulation is exact.
+type ReversibleState struct {
+	bits []bool
+}
+
+// NewReversibleState returns an all-zero basis state over n qubits.
+func NewReversibleState(n int) *ReversibleState {
+	return &ReversibleState{bits: make([]bool, n)}
+}
+
+// Set assigns the value of qubit q.
+func (s *ReversibleState) Set(q int, v bool) { s.bits[q] = v }
+
+// Get returns the value of qubit q.
+func (s *ReversibleState) Get(q int) bool { return s.bits[q] }
+
+// SetUint loads the unsigned integer v little-endian into the given qubits.
+func (s *ReversibleState) SetUint(qubits []int, v uint64) {
+	for i, q := range qubits {
+		s.Set(q, v&(1<<uint(i)) != 0)
+	}
+}
+
+// Uint reads the little-endian unsigned integer stored in the given qubits.
+func (s *ReversibleState) Uint(qubits []int) uint64 {
+	var v uint64
+	for i, q := range qubits {
+		if s.Get(q) {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// ApplyReversible runs a circuit consisting solely of classical reversible
+// gates (X, CX, Toffoli, and identity) on the state.  Any other gate kind is
+// an error — callers should generate adders with DecomposeToffoli=false for
+// verification.
+func ApplyReversible(c *quantum.Circuit, s *ReversibleState) error {
+	if len(s.bits) < c.NumQubits {
+		return fmt.Errorf("circuits: state has %d qubits, circuit needs %d", len(s.bits), c.NumQubits)
+	}
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case quantum.GateI:
+			// no-op
+		case quantum.GateX:
+			s.bits[g.Qubits[0]] = !s.bits[g.Qubits[0]]
+		case quantum.GateCX:
+			if s.bits[g.Qubits[0]] {
+				s.bits[g.Qubits[1]] = !s.bits[g.Qubits[1]]
+			}
+		case quantum.GateToffoli:
+			if s.bits[g.Qubits[0]] && s.bits[g.Qubits[1]] {
+				s.bits[g.Qubits[2]] = !s.bits[g.Qubits[2]]
+			}
+		default:
+			return fmt.Errorf("circuits: gate %d (%s) is not classically reversible", i, g)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+
+	"speedofdata/internal/circuits"
+	"speedofdata/internal/factory"
+	"speedofdata/internal/fowler"
+	"speedofdata/internal/microarch"
+	"speedofdata/internal/noise"
+	"speedofdata/internal/schedule"
+	"speedofdata/internal/steane"
+)
+
+// Experiments bundles the options shared by every experiment runner.  Each
+// method regenerates one table or figure from the paper's evaluation; the
+// command-line tool and the benchmark harness are thin wrappers around it.
+type Experiments struct {
+	Options Options
+	// Bits is the benchmark operand width (32 in the paper).
+	Bits int
+}
+
+// NewExperiments returns an experiment runner with the paper's parameters.
+func NewExperiments() Experiments {
+	return Experiments{Options: DefaultOptions(), Bits: 32}
+}
+
+// Table2And3 characterises the three benchmarks (Tables 2 and 3).
+func (e Experiments) Table2And3() ([]schedule.Characterization, error) {
+	var out []schedule.Characterization
+	for _, b := range circuits.Benchmarks() {
+		c, err := circuits.Generate(b, e.Bits)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := schedule.Characterize(c, e.Options.Latency)
+		if err != nil {
+			return nil, err
+		}
+		ch.Name = fmt.Sprintf("%d-Bit %s", e.Bits, b)
+		out = append(out, ch)
+	}
+	return out, nil
+}
+
+// Table5Rows describes the pipelined zero factory's functional units under
+// the configured technology (Table 5).
+type Table5Row struct {
+	Name            string
+	SymbolicLatency string
+	LatencyUs       float64
+	Stages          int
+	InBWPerMs       float64
+	OutBWPerMs      float64
+	Area            float64
+}
+
+// Table5 returns the zero-factory functional unit characteristics.
+func (e Experiments) Table5() []Table5Row {
+	return unitRows(factory.ZeroFactoryUnits(), e)
+}
+
+// Table7 returns the π/8-factory stage characteristics.
+func (e Experiments) Table7() []Table5Row {
+	return unitRows(factory.Pi8FactoryUnits(), e)
+}
+
+func unitRows(units []factory.FunctionalUnit, e Experiments) []Table5Row {
+	rows := make([]Table5Row, 0, len(units))
+	for _, u := range units {
+		rows = append(rows, Table5Row{
+			Name:            u.Name,
+			SymbolicLatency: u.Latency.String(),
+			LatencyUs:       float64(u.LatencyUs(e.Options.Tech)),
+			Stages:          u.InternalStages,
+			InBWPerMs:       u.InBandwidth(e.Options.Tech),
+			OutBWPerMs:      u.OutBandwidth(e.Options.Tech),
+			Area:            float64(u.Area),
+		})
+	}
+	return rows
+}
+
+// FactoryDesigns returns the sized zero and π/8 factories (Tables 6 and 8,
+// Sections 4.4.1-4.4.2) plus the simple factory of Section 4.3.
+func (e Experiments) FactoryDesigns() (simple factory.SimpleZeroFactory, zero, pi8 factory.Design) {
+	return factory.SimpleZeroFactory{Tech: e.Options.Tech},
+		factory.PipelinedZeroFactory(e.Options.Tech),
+		factory.Pi8Factory(e.Options.Tech)
+}
+
+// Table9 returns the per-benchmark chip area breakdown.
+func (e Experiments) Table9() ([]AreaBreakdown, error) {
+	analyses, err := AnalyzeAllBenchmarks(e.Bits, e.Options)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AreaBreakdown, 0, len(analyses))
+	for i, a := range analyses {
+		b := a.Breakdown
+		b.Name = fmt.Sprintf("%d-Bit %s", e.Bits, circuits.Benchmarks()[i])
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// PrepErrorResult is one Figure 4 data point: the estimated error rates of an
+// encoded-zero preparation variant.
+type PrepErrorResult struct {
+	Name       string
+	PaperRate  float64
+	FirstOrder noise.Estimate
+	MonteCarlo noise.Estimate
+	Ops        steane.Counts
+}
+
+// Figure4 evaluates the four encoded-zero preparation circuits under the
+// paper's error model.  trials controls the Monte Carlo effort.
+func (e Experiments) Figure4(trials int, seed int64) ([]PrepErrorResult, error) {
+	code := steane.NewCode()
+	model := noise.DefaultModel()
+	paperRates := map[string]float64{
+		"basic":              1.8e-3,
+		"verify-only":        3.7e-4,
+		"correct-only":       1.1e-3,
+		"verify-and-correct": 2.9e-5,
+	}
+	order := []string{"basic", "verify-only", "correct-only", "verify-and-correct"}
+	protocols := steane.StandardProtocols(code)
+	var out []PrepErrorResult
+	for _, name := range order {
+		p := protocols[name]
+		sim, err := noise.NewSimulator(code, p, model)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PrepErrorResult{
+			Name:       name,
+			PaperRate:  paperRates[name],
+			FirstOrder: sim.FirstOrder(),
+			MonteCarlo: sim.MonteCarlo(trials, seed),
+			Ops:        p.CountOps(),
+		})
+	}
+	return out, nil
+}
+
+// Figure7 computes the ancilla demand profiles of the three benchmarks.
+func (e Experiments) Figure7(buckets int) (map[string][]schedule.DemandPoint, error) {
+	out := make(map[string][]schedule.DemandPoint)
+	for _, b := range circuits.Benchmarks() {
+		c, err := circuits.Generate(b, e.Bits)
+		if err != nil {
+			return nil, err
+		}
+		profile, err := schedule.DemandProfile(c, e.Options.Latency, buckets)
+		if err != nil {
+			return nil, err
+		}
+		out[b.String()] = profile
+	}
+	return out, nil
+}
+
+// Figure8 computes execution time versus steady ancilla throughput for the
+// three benchmarks.
+func (e Experiments) Figure8() (map[string][]schedule.SweepPoint, error) {
+	out := make(map[string][]schedule.SweepPoint)
+	for _, b := range circuits.Benchmarks() {
+		c, err := circuits.Generate(b, e.Bits)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := schedule.Characterize(c, e.Options.Latency)
+		if err != nil {
+			return nil, err
+		}
+		sweep, err := schedule.ThroughputSweep(c, e.Options.Latency, schedule.DefaultSweepRates(ch.ZeroBandwidthPerMs))
+		if err != nil {
+			return nil, err
+		}
+		out[b.String()] = sweep
+	}
+	return out, nil
+}
+
+// Figure15 runs the microarchitecture comparison for one benchmark.
+func (e Experiments) Figure15(b circuits.Benchmark, maxScale int) (map[microarch.Architecture]microarch.Curve, error) {
+	c, err := circuits.Generate(b, e.Bits)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := schedule.Characterize(c, e.Options.Latency)
+	if err != nil {
+		return nil, err
+	}
+	base := microarch.DefaultConfig(microarch.FullyMultiplexed)
+	base.Latency = e.Options.Latency
+	base.CacheSlots = 16
+	base.Pi8BandwidthPerMs = ch.Pi8BandwidthPerMs
+	return microarch.Figure15(c, microarch.Figure15Config{Base: base, MaxScale: maxScale})
+}
+
+// FowlerResult summarises the Section 2.5 rotation-synthesis machinery.
+type FowlerResult struct {
+	// Sequences holds searched approximations for the first few π/2^k
+	// rotations.
+	Sequences []fowler.Sequence
+	// TargetsK are the k values matching Sequences.
+	TargetsK []int
+	// Cascade holds the Figure 6 cascade statistics for a range of k.
+	Cascade []fowler.CascadeStats
+	// LengthAt1em4 is the modelled H/T sequence length at 1e-4 precision.
+	LengthAt1em4 int
+}
+
+// Fowler runs the rotation-synthesis experiment (Section 2.5, Figure 6).
+func (e Experiments) Fowler(maxGates int) (FowlerResult, error) {
+	s := fowler.NewSearcher(maxGates)
+	var res FowlerResult
+	for k := 3; k <= 6; k++ {
+		seq, _ := s.ApproximateRz(k, 1e-9)
+		res.Sequences = append(res.Sequences, seq)
+		res.TargetsK = append(res.TargetsK, k)
+	}
+	for _, k := range []int{3, 4, 6, 8, 16, 32} {
+		c, err := fowler.Cascade(k)
+		if err != nil {
+			return FowlerResult{}, err
+		}
+		res.Cascade = append(res.Cascade, c)
+	}
+	res.LengthAt1em4 = fowler.DefaultLengthModel().Length(1e-4)
+	return res, nil
+}

@@ -1,0 +1,236 @@
+// Package factory implements the ancilla factory designs of Section 4: the
+// simple (replicated) encoded-zero factory of Figure 11, the fully pipelined
+// encoded-zero factory of Figures 12-13 (Tables 5 and 6), and the encoded-π/8
+// factory of Section 4.4.2 (Tables 7 and 8), together with the
+// bandwidth-matching arithmetic that sizes each pipeline stage and the
+// area/throughput summaries the architectural evaluation consumes.
+package factory
+
+import (
+	"fmt"
+	"math"
+
+	"speedofdata/internal/iontrap"
+)
+
+// FunctionalUnit is one pipeline functional unit: a fixed patch of
+// macroblocks that repeatedly performs one subcircuit (a row of Table 5 or
+// Table 7).
+type FunctionalUnit struct {
+	// Name identifies the unit ("Zero Prep", "CX Stage", ...).
+	Name string
+	// Latency is the symbolic latency of one pass through the unit.
+	Latency iontrap.LatencyExpr
+	// InternalStages is the number of pipeline stages inside the unit itself
+	// (Table 5's "Stages" column): the unit holds this many qubit groups in
+	// flight at once.
+	InternalStages int
+	// QubitsIn and QubitsOut are the physical qubits consumed and produced
+	// per operation.
+	QubitsIn, QubitsOut int
+	// SuccessRate scales the output bandwidth for units that discard some of
+	// their product (verification keeps ~99.8% of encoded ancillae).
+	SuccessRate float64
+	// Height and Area describe the unit's macroblock footprint (Area may
+	// exceed Height×1 for multi-column units).
+	Height int
+	Area   iontrap.Area
+}
+
+// LatencyUs evaluates the unit latency for a technology.
+func (u FunctionalUnit) LatencyUs(t iontrap.Technology) iontrap.Microseconds {
+	return u.Latency.Eval(t)
+}
+
+// OpsPerMs is the operation issue rate of one unit: with k internal pipeline
+// stages, a new operation completes every latency/k.
+func (u FunctionalUnit) OpsPerMs(t iontrap.Technology) float64 {
+	lat := float64(u.LatencyUs(t))
+	if lat <= 0 {
+		return 0
+	}
+	return float64(u.InternalStages) * 1000.0 / lat
+}
+
+// InBandwidth is the physical-qubit input bandwidth of one unit in qubits per
+// millisecond (Table 5 / Table 7 "In BW").
+func (u FunctionalUnit) InBandwidth(t iontrap.Technology) float64 {
+	return float64(u.QubitsIn) * u.OpsPerMs(t)
+}
+
+// OutBandwidth is the physical-qubit output bandwidth of one unit in qubits
+// per millisecond (Table 5 / Table 7 "Out BW"), including the success rate.
+func (u FunctionalUnit) OutBandwidth(t iontrap.Technology) float64 {
+	return float64(u.QubitsOut) * u.OpsPerMs(t) * u.successRate()
+}
+
+func (u FunctionalUnit) successRate() float64 {
+	if u.SuccessRate == 0 {
+		return 1
+	}
+	return u.SuccessRate
+}
+
+// Validate reports an error for inconsistent unit definitions.
+func (u FunctionalUnit) Validate() error {
+	if u.InternalStages <= 0 {
+		return fmt.Errorf("factory: unit %q has non-positive internal stage count", u.Name)
+	}
+	if u.QubitsIn <= 0 || u.QubitsOut <= 0 {
+		return fmt.Errorf("factory: unit %q has non-positive qubit flow", u.Name)
+	}
+	if u.SuccessRate < 0 || u.SuccessRate > 1 {
+		return fmt.Errorf("factory: unit %q has success rate %v outside [0,1]", u.Name, u.SuccessRate)
+	}
+	if u.Height <= 0 || u.Area <= 0 {
+		return fmt.Errorf("factory: unit %q has non-positive footprint", u.Name)
+	}
+	return nil
+}
+
+// Allocation is a functional unit replicated Count times inside a stage.
+type Allocation struct {
+	Unit  FunctionalUnit
+	Count int
+}
+
+// TotalHeight is the stacked height of the allocation (Table 6 / Table 8
+// "Total Height").
+func (a Allocation) TotalHeight() int { return a.Count * a.Unit.Height }
+
+// TotalArea is the allocation's macroblock area (Table 6 / Table 8 "Total
+// Area").
+func (a Allocation) TotalArea() iontrap.Area {
+	return iontrap.Area(float64(a.Count) * float64(a.Unit.Area))
+}
+
+// Stage is one pipeline stage: one or more unit allocations whose combined
+// output feeds the next stage through a crossbar.
+type Stage struct {
+	Name        string
+	Allocations []Allocation
+}
+
+// Height is the stage's stacked height.
+func (s Stage) Height() int {
+	h := 0
+	for _, a := range s.Allocations {
+		h += a.TotalHeight()
+	}
+	return h
+}
+
+// Area is the stage's functional-unit area.
+func (s Stage) Area() iontrap.Area {
+	var area iontrap.Area
+	for _, a := range s.Allocations {
+		area += a.TotalArea()
+	}
+	return area
+}
+
+// Design is a complete ancilla factory: stages separated by crossbars, with a
+// resulting throughput of encoded ancillae.
+type Design struct {
+	Name   string
+	Tech   iontrap.Technology
+	Stages []Stage
+	// CrossbarColumns[i] is the number of crossbar columns between stage i
+	// and stage i+1 (the paper uses one column where traffic is
+	// unidirectional and funnelling inward, two otherwise).
+	CrossbarColumns []int
+	// ThroughputPerMs is the encoded-ancilla output rate of the whole
+	// factory.
+	ThroughputPerMs float64
+	// OutputLatencyUs is the end-to-end latency of one ancilla through the
+	// factory (the sum of stage latencies), used by consumers that care
+	// about freshness rather than rate.
+	OutputLatencyUs iontrap.Microseconds
+}
+
+// FunctionalArea is the total functional-unit area of the factory.
+func (d Design) FunctionalArea() iontrap.Area {
+	var a iontrap.Area
+	for _, s := range d.Stages {
+		a += s.Area()
+	}
+	return a
+}
+
+// CrossbarArea is the total crossbar area: each crossbar spans the taller of
+// the two stages it connects, times its column count.
+func (d Design) CrossbarArea() iontrap.Area {
+	var a iontrap.Area
+	for i, cols := range d.CrossbarColumns {
+		if i+1 >= len(d.Stages) {
+			break
+		}
+		h := d.Stages[i].Height()
+		if next := d.Stages[i+1].Height(); next > h {
+			h = next
+		}
+		a += iontrap.Area(cols * h)
+	}
+	return a
+}
+
+// TotalArea is the factory's full macroblock footprint.
+func (d Design) TotalArea() iontrap.Area { return d.FunctionalArea() + d.CrossbarArea() }
+
+// AreaForBandwidth returns the factory area needed to sustain a given encoded
+// ancilla bandwidth, allowing fractional replication (the Table 9
+// accounting).
+func (d Design) AreaForBandwidth(perMs float64) iontrap.Area {
+	if perMs <= 0 || d.ThroughputPerMs <= 0 {
+		return 0
+	}
+	return iontrap.Area(perMs / d.ThroughputPerMs * float64(d.TotalArea()))
+}
+
+// CountForBandwidth returns the whole number of factory instances needed to
+// sustain a bandwidth.
+func (d Design) CountForBandwidth(perMs float64) int {
+	if perMs <= 0 {
+		return 0
+	}
+	if d.ThroughputPerMs <= 0 {
+		return 0
+	}
+	return int(math.Ceil(perMs / d.ThroughputPerMs))
+}
+
+// Validate checks the design's internal consistency.
+func (d Design) Validate() error {
+	if len(d.Stages) == 0 {
+		return fmt.Errorf("factory: design %q has no stages", d.Name)
+	}
+	if len(d.CrossbarColumns) != len(d.Stages)-1 {
+		return fmt.Errorf("factory: design %q has %d crossbars for %d stages", d.Name, len(d.CrossbarColumns), len(d.Stages))
+	}
+	for _, s := range d.Stages {
+		if len(s.Allocations) == 0 {
+			return fmt.Errorf("factory: design %q stage %q has no units", d.Name, s.Name)
+		}
+		for _, a := range s.Allocations {
+			if err := a.Unit.Validate(); err != nil {
+				return err
+			}
+			if a.Count <= 0 {
+				return fmt.Errorf("factory: design %q stage %q allocates %d of %q", d.Name, s.Name, a.Count, a.Unit.Name)
+			}
+		}
+	}
+	if d.ThroughputPerMs <= 0 {
+		return fmt.Errorf("factory: design %q has non-positive throughput", d.Name)
+	}
+	return nil
+}
+
+// unitsFor returns the number of unit replicas needed so that count×perUnit
+// meets demand (the bandwidth matching step of Section 4.4).
+func unitsFor(demand, perUnit float64) int {
+	if perUnit <= 0 {
+		return 0
+	}
+	return int(math.Ceil(demand/perUnit - 1e-9))
+}

@@ -1,0 +1,185 @@
+package factory
+
+import (
+	"speedofdata/internal/iontrap"
+	"speedofdata/internal/steane"
+)
+
+// DefaultVerificationSuccess is the fraction of encoded zero ancillae that
+// pass verification (Section 2.3 estimates a 0.2% failure rate by Monte
+// Carlo; the noise package reproduces a rate of the same order).
+const DefaultVerificationSuccess = 0.998
+
+// SimpleZeroFactory models the non-pipelined factory of Figure 11: a fixed
+// 90-macroblock layout executing the verify-and-correct preparation with a
+// hand-optimised schedule, producing one encoded zero ancilla per pass.
+type SimpleZeroFactory struct {
+	Tech iontrap.Technology
+}
+
+// Latency returns the symbolic latency of one ancilla preparation:
+// tprep + 2·tmeas + 6·t2q + 2·t1q + 8·tturn + 30·tmove (Section 4.3).
+func (SimpleZeroFactory) Latency() iontrap.LatencyExpr {
+	return iontrap.Expr(
+		iontrap.OpZeroPrep, 1,
+		iontrap.OpMeasure, 2,
+		iontrap.OpTwoQubitGate, 6,
+		iontrap.OpOneQubitGate, 2,
+		iontrap.OpTurn, 8,
+		iontrap.OpStraightMove, 30,
+	)
+}
+
+// LatencyUs evaluates the preparation latency (323 µs with ion-trap numbers).
+func (f SimpleZeroFactory) LatencyUs() iontrap.Microseconds {
+	return f.Latency().Eval(f.Tech)
+}
+
+// ThroughputPerMs is the encoded ancilla production rate (about 3.1/ms).
+func (f SimpleZeroFactory) ThroughputPerMs() float64 {
+	lat := float64(f.LatencyUs())
+	if lat <= 0 {
+		return 0
+	}
+	return 1000.0 / lat
+}
+
+// Area returns the simple factory's footprint: ten gate locations per row for
+// three rows (seven encoding plus three verification qubits each) plus the
+// interleaved communication rows, 90 macroblocks in total (Figure 11).
+func (SimpleZeroFactory) Area() iontrap.Area { return 90 }
+
+// AreaForBandwidth returns the area of enough replicated simple factories to
+// sustain a bandwidth, allowing fractional replication.
+func (f SimpleZeroFactory) AreaForBandwidth(perMs float64) iontrap.Area {
+	tp := f.ThroughputPerMs()
+	if perMs <= 0 || tp <= 0 {
+		return 0
+	}
+	return iontrap.Area(perMs / tp * float64(f.Area()))
+}
+
+// ZeroFactoryUnits returns the five functional units of the pipelined
+// encoded-zero factory exactly as Table 5 defines them: symbolic latency,
+// internal pipeline stages, per-operation qubit flow, verification success,
+// and macroblock footprint.
+func ZeroFactoryUnits() []FunctionalUnit {
+	return []FunctionalUnit{
+		{
+			Name: "Zero Prep",
+			Latency: iontrap.Expr(
+				iontrap.OpZeroPrep, 1, iontrap.OpOneQubitGate, 1,
+				iontrap.OpTurn, 2, iontrap.OpStraightMove, 1),
+			InternalStages: 1,
+			QubitsIn:       1, QubitsOut: 1,
+			Height: 1, Area: 1,
+		},
+		{
+			Name: "CX Stage",
+			Latency: iontrap.Expr(
+				iontrap.OpTwoQubitGate, 3, iontrap.OpTurn, 6, iontrap.OpStraightMove, 5),
+			InternalStages: 3,
+			QubitsIn:       steane.N, QubitsOut: steane.N,
+			Height: 4, Area: 28,
+		},
+		{
+			Name: "Cat State Prep",
+			Latency: iontrap.Expr(
+				iontrap.OpTwoQubitGate, 2, iontrap.OpTurn, 4, iontrap.OpStraightMove, 2),
+			InternalStages: 2,
+			QubitsIn:       3, QubitsOut: 3,
+			Height: 2, Area: 6,
+		},
+		{
+			Name: "Verification",
+			Latency: iontrap.Expr(
+				iontrap.OpMeasure, 1, iontrap.OpTwoQubitGate, 1,
+				iontrap.OpTurn, 2, iontrap.OpStraightMove, 2),
+			InternalStages: 1,
+			QubitsIn:       steane.N + 3, QubitsOut: steane.N,
+			SuccessRate: DefaultVerificationSuccess,
+			Height:      10, Area: 10,
+		},
+		{
+			Name: "B/P Correction",
+			Latency: iontrap.Expr(
+				iontrap.OpMeasure, 1, iontrap.OpTwoQubitGate, 2,
+				iontrap.OpTurn, 6, iontrap.OpStraightMove, 8),
+			InternalStages: 1,
+			QubitsIn:       3 * steane.N, QubitsOut: steane.N,
+			Height: 21, Area: 21,
+		},
+	}
+}
+
+// zeroUnitByName finds a Table 5 unit.
+func zeroUnitByName(name string) FunctionalUnit {
+	for _, u := range ZeroFactoryUnits() {
+		if u.Name == name {
+			return u
+		}
+	}
+	panic("factory: unknown zero factory unit " + name)
+}
+
+// PipelinedZeroFactory sizes the four-stage pipelined encoded-zero factory of
+// Figure 12 by bandwidth matching (Section 4.4.1): the single CX unit sets
+// the base encoded-ancilla rate, the cat-prepare units are matched 7:3 to it,
+// and the preparation, verification and correction stages are sized to keep
+// up.  With ion-trap parameters this reproduces the Table 6 unit counts
+// (24 / 1+1 / 3 / 2), the 298-macroblock area and the ~10.5 encoded ancillae
+// per millisecond throughput.
+func PipelinedZeroFactory(tech iontrap.Technology) Design {
+	zeroPrep := zeroUnitByName("Zero Prep")
+	cx := zeroUnitByName("CX Stage")
+	cat := zeroUnitByName("Cat State Prep")
+	verify := zeroUnitByName("Verification")
+	correct := zeroUnitByName("B/P Correction")
+
+	// The CX unit is the pipeline's pacing element: each seven physical
+	// qubits leaving it form one encoded zero ancilla awaiting verification.
+	encodedPerMs := cx.OutBandwidth(tech) / float64(steane.N)
+
+	// Stage 2: cat-prepare units matched so the 3-qubit cat supply meets the
+	// 7-qubit encoded supply (the paper's 7:3 matching).
+	catUnits := unitsFor(encodedPerMs, cat.OutBandwidth(tech)/3.0)
+
+	// Stage 1: physical zero preparation must feed both the CX units (7
+	// qubits per encoded ancilla) and the cat-prepare units (3 per ancilla).
+	prepDemand := cx.InBandwidth(tech) + float64(catUnits)*cat.InBandwidth(tech)
+	// Cat units may be slightly over-provisioned; demand what is actually
+	// consumed: 7 + 3 physical qubits per encoded ancilla.
+	if consumed := encodedPerMs * float64(steane.N+3); consumed < prepDemand {
+		prepDemand = consumed
+	}
+	prepUnits := unitsFor(prepDemand, zeroPrep.OutBandwidth(tech))
+
+	// Stage 3: verification operates on one encoded ancilla plus its cat per
+	// operation.
+	verifyUnits := unitsFor(encodedPerMs, verify.OpsPerMs(tech))
+
+	// Stage 4: bit/phase correction consumes three verified encoded ancillae
+	// per output ancilla.
+	verifiedPerMs := encodedPerMs * verify.successRate()
+	correctionOpsPerMs := verifiedPerMs / 3.0
+	correctUnits := unitsFor(correctionOpsPerMs, correct.OpsPerMs(tech))
+
+	design := Design{
+		Name: "pipelined encoded-zero factory",
+		Tech: tech,
+		Stages: []Stage{
+			{Name: "Physical Prepare", Allocations: []Allocation{{Unit: zeroPrep, Count: prepUnits}}},
+			{Name: "Encode", Allocations: []Allocation{{Unit: cx, Count: 1}, {Unit: cat, Count: catUnits}}},
+			{Name: "Verification", Allocations: []Allocation{{Unit: verify, Count: verifyUnits}}},
+			{Name: "Bit/Phase Correction", Allocations: []Allocation{{Unit: correct, Count: correctUnits}}},
+		},
+		// Qubits leaving Stage 1 funnel inward to the much smaller Stage 2,
+		// so that crossbar needs a single column; the later crossbars carry
+		// bidirectional traffic (recycling) and use two.
+		CrossbarColumns: []int{1, 2, 2},
+		ThroughputPerMs: correctionOpsPerMs,
+		OutputLatencyUs: zeroPrep.LatencyUs(tech) + cx.LatencyUs(tech) +
+			verify.LatencyUs(tech) + correct.LatencyUs(tech),
+	}
+	return design
+}

@@ -1,0 +1,317 @@
+package iontrap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTechnologyValues(t *testing.T) {
+	tech := Default()
+	if err := tech.Validate(); err != nil {
+		t.Fatalf("default technology invalid: %v", err)
+	}
+	want := map[Op]Microseconds{
+		OpOneQubitGate: 1,
+		OpTwoQubitGate: 10,
+		OpMeasure:      50,
+		OpZeroPrep:     51,
+		OpStraightMove: 1,
+		OpTurn:         10,
+	}
+	for op, w := range want {
+		if got := tech.LatencyOf(op); got != w {
+			t.Errorf("LatencyOf(%s) = %v, want %v", op, got, w)
+		}
+	}
+}
+
+func TestValidateMissingOp(t *testing.T) {
+	tech := Default()
+	delete(tech.Latency, OpMeasure)
+	if err := tech.Validate(); err == nil {
+		t.Fatal("expected error for missing measurement latency")
+	}
+}
+
+func TestValidateNonPositive(t *testing.T) {
+	tech := Default()
+	tech.Latency[OpTurn] = 0
+	if err := tech.Validate(); err == nil {
+		t.Fatal("expected error for zero turn latency")
+	}
+	tech.Latency[OpTurn] = -3
+	if err := tech.Validate(); err == nil {
+		t.Fatal("expected error for negative turn latency")
+	}
+}
+
+func TestValidateNilTable(t *testing.T) {
+	tech := Technology{Name: "empty"}
+	if err := tech.Validate(); err == nil {
+		t.Fatal("expected error for nil latency table")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpOneQubitGate: "t1q",
+		OpTwoQubitGate: "t2q",
+		OpMeasure:      "tmeas",
+		OpZeroPrep:     "tprep",
+		OpStraightMove: "tmove",
+		OpTurn:         "tturn",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(99).String(); got != "op(99)" {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestExprSimpleFactoryLatency(t *testing.T) {
+	// The paper's hand-optimised simple factory schedule (Section 4.3):
+	// tprep + 2*tmeas + 6*t2q + 2*t1q + 8*tturn + 30*tmove = 323 µs.
+	e := Expr(
+		OpZeroPrep, 1,
+		OpMeasure, 2,
+		OpTwoQubitGate, 6,
+		OpOneQubitGate, 2,
+		OpTurn, 8,
+		OpStraightMove, 30,
+	)
+	if got := e.Eval(Default()); got != 323 {
+		t.Fatalf("simple factory latency = %v µs, want 323", got)
+	}
+}
+
+func TestExprTable5Latencies(t *testing.T) {
+	tech := Default()
+	cases := []struct {
+		name string
+		expr LatencyExpr
+		want Microseconds
+	}{
+		{"zero prep", Expr(OpZeroPrep, 1, OpOneQubitGate, 1, OpTurn, 2, OpStraightMove, 1), 73},
+		{"cx stage", Expr(OpTwoQubitGate, 3, OpTurn, 6, OpStraightMove, 5), 95},
+		{"cat state prep", Expr(OpTwoQubitGate, 2, OpTurn, 4, OpStraightMove, 2), 62},
+		{"verification", Expr(OpMeasure, 1, OpTwoQubitGate, 1, OpTurn, 2, OpStraightMove, 2), 82},
+		{"b/p correction", Expr(OpMeasure, 1, OpTwoQubitGate, 2, OpTurn, 6, OpStraightMove, 8), 138},
+	}
+	for _, c := range cases {
+		if got := c.expr.Eval(tech); got != c.want {
+			t.Errorf("%s latency = %v, want %v (expr %s)", c.name, got, c.want, c.expr)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := Expr(OpTwoQubitGate, 3, OpTurn, 6, OpStraightMove, 5)
+	if got := e.String(); got != "3*t2q + 5*tmove + 6*tturn" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := NewLatencyExpr().String(); got != "0" {
+		t.Errorf("empty expr String() = %q, want 0", got)
+	}
+	single := Expr(OpMeasure, 1)
+	if got := single.String(); got != "tmeas" {
+		t.Errorf("single-term String() = %q, want tmeas", got)
+	}
+}
+
+func TestExprPlusScaleCount(t *testing.T) {
+	a := Expr(OpTwoQubitGate, 2, OpTurn, 1)
+	b := Expr(OpTwoQubitGate, 1, OpMeasure, 3)
+	sum := a.Plus(b)
+	if sum.Count(OpTwoQubitGate) != 3 || sum.Count(OpTurn) != 1 || sum.Count(OpMeasure) != 3 {
+		t.Errorf("Plus produced wrong counts: %s", sum)
+	}
+	// Plus must not mutate its operands.
+	if a.Count(OpTwoQubitGate) != 2 || b.Count(OpTwoQubitGate) != 1 {
+		t.Error("Plus mutated its operands")
+	}
+	scaled := a.Scale(3)
+	if scaled.Count(OpTwoQubitGate) != 6 || scaled.Count(OpTurn) != 3 {
+		t.Errorf("Scale produced wrong counts: %s", scaled)
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	a := Expr(OpTwoQubitGate, 2, OpTurn, 1)
+	b := Expr(OpTurn, 1, OpTwoQubitGate, 2)
+	if !a.Equal(b) {
+		t.Error("expressions with same terms should be equal")
+	}
+	c := Expr(OpTwoQubitGate, 2)
+	if a.Equal(c) {
+		t.Error("expressions with different terms should not be equal")
+	}
+}
+
+func TestExprPanicsOnBadArgs(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("odd args", func() { Expr(OpMeasure) })
+	assertPanics("non-op", func() { Expr("tmeas", 1) })
+	assertPanics("non-int", func() { Expr(OpMeasure, "1") })
+	assertPanics("zero-value expr Add", func() {
+		var e LatencyExpr
+		e.Add(OpMeasure, 1)
+	})
+}
+
+func TestMicrosecondsMilliseconds(t *testing.T) {
+	if got := Microseconds(323).Milliseconds(); math.Abs(got-0.323) > 1e-12 {
+		t.Errorf("Milliseconds() = %v, want 0.323", got)
+	}
+}
+
+// Property: evaluating a sum of expressions equals the sum of evaluations.
+func TestExprLinearityProperty(t *testing.T) {
+	tech := Default()
+	f := func(a1, a2, b1, b2 uint8) bool {
+		x := Expr(OpTwoQubitGate, int(a1%16), OpTurn, int(a2%16))
+		y := Expr(OpMeasure, int(b1%16), OpStraightMove, int(b2%16))
+		lhs := x.Plus(y).Eval(tech)
+		rhs := x.Eval(tech) + y.Eval(tech)
+		return math.Abs(float64(lhs-rhs)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling an expression by k multiplies its evaluation by k.
+func TestExprScaleProperty(t *testing.T) {
+	tech := Default()
+	f := func(n1, n2, k uint8) bool {
+		x := Expr(OpTwoQubitGate, int(n1%16), OpZeroPrep, int(n2%16))
+		kk := int(k % 8)
+		lhs := x.Scale(kk).Eval(tech)
+		rhs := Microseconds(float64(kk) * float64(x.Eval(tech)))
+		return math.Abs(float64(lhs-rhs)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMacroblockKindProperties(t *testing.T) {
+	if !DeadEndGate.HasGateLocation() || !StraightChannelGate.HasGateLocation() {
+		t.Error("gate macroblocks must have gate locations")
+	}
+	for _, k := range []MacroblockKind{StraightChannel, Turn, ThreeWayIntersection, FourWayIntersection} {
+		if k.HasGateLocation() {
+			t.Errorf("%s should not have a gate location", k)
+		}
+	}
+	wantPorts := map[MacroblockKind]int{
+		DeadEndGate:          1,
+		StraightChannelGate:  2,
+		StraightChannel:      2,
+		Turn:                 2,
+		ThreeWayIntersection: 3,
+		FourWayIntersection:  4,
+	}
+	for k, w := range wantPorts {
+		if got := k.Ports(); got != w {
+			t.Errorf("%s.Ports() = %d, want %d", k, got, w)
+		}
+	}
+	if MacroblockKind(42).Ports() != 0 {
+		t.Error("unknown macroblock kind should have 0 ports")
+	}
+	if MacroblockKind(42).String() != "macroblock(42)" {
+		t.Error("unknown macroblock kind string")
+	}
+}
+
+func TestMacroblockKindsStable(t *testing.T) {
+	kinds := MacroblockKinds()
+	if len(kinds) != 6 {
+		t.Fatalf("expected 6 macroblock kinds, got %d", len(kinds))
+	}
+	seen := map[MacroblockKind]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Errorf("duplicate kind %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestColumnLayout(t *testing.T) {
+	// The data qubit region of Figure 10: a single column of straight
+	// channel gate macroblocks, 7 for the [[7,1,3]] code.
+	l := NewColumnLayout("data qubit", StraightChannelGate, 7)
+	if l.Area() != 7 {
+		t.Errorf("column layout area = %v, want 7", l.Area())
+	}
+	if l.GateLocations() != 7 {
+		t.Errorf("gate locations = %d, want 7", l.GateLocations())
+	}
+	rows, cols := l.Bounds()
+	if rows != 7 || cols != 1 {
+		t.Errorf("bounds = (%d,%d), want (7,1)", rows, cols)
+	}
+}
+
+func TestGridLayout(t *testing.T) {
+	l := NewGridLayout("grid", 3, 4, func(r, c int) MacroblockKind {
+		if c == 0 {
+			return StraightChannel
+		}
+		return StraightChannelGate
+	})
+	if l.Area() != 12 {
+		t.Errorf("grid area = %v, want 12", l.Area())
+	}
+	if l.GateLocations() != 9 {
+		t.Errorf("grid gate locations = %d, want 9", l.GateLocations())
+	}
+	rows, cols := l.Bounds()
+	if rows != 3 || cols != 4 {
+		t.Errorf("bounds = (%d,%d), want (3,4)", rows, cols)
+	}
+	// nil kindAt defaults to straight channel gates everywhere.
+	l2 := NewGridLayout("default", 2, 2, nil)
+	if l2.GateLocations() != 4 {
+		t.Errorf("default grid gate locations = %d, want 4", l2.GateLocations())
+	}
+}
+
+func TestMovePathLatency(t *testing.T) {
+	p := MovePath{Straights: 30, Turns: 8}
+	tech := Default()
+	if got := p.Eval(tech); got != 110 {
+		t.Errorf("move path latency = %v, want 110", got)
+	}
+	e := p.Latency()
+	if e.Count(OpStraightMove) != 30 || e.Count(OpTurn) != 8 {
+		t.Errorf("move path expression has wrong counts: %s", e)
+	}
+}
+
+// Property: a layout's area always equals its macroblock count and gate
+// locations never exceed the area.
+func TestLayoutAreaProperty(t *testing.T) {
+	f := func(rows, cols uint8) bool {
+		r := int(rows%12) + 1
+		c := int(cols%12) + 1
+		l := NewGridLayout("p", r, c, nil)
+		return l.Area() == Area(r*c) && l.GateLocations() <= r*c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

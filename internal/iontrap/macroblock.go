@@ -1,0 +1,160 @@
+package iontrap
+
+import "fmt"
+
+// MacroblockKind enumerates the abstract layout building blocks of Figure 9.
+// Wide channels are valid paths for qubit movement; black squares are gate
+// locations; a gate location may not occur in an intersection.
+type MacroblockKind int
+
+const (
+	// DeadEndGate is a dead-end channel terminating in a gate location.
+	DeadEndGate MacroblockKind = iota
+	// StraightChannelGate is a straight channel containing a gate location.
+	StraightChannelGate
+	// StraightChannel is a straight movement channel with no gate location.
+	StraightChannel
+	// Turn is a 90-degree corner channel.
+	Turn
+	// ThreeWayIntersection joins three channels; no gate location allowed.
+	ThreeWayIntersection
+	// FourWayIntersection joins four channels; no gate location allowed.
+	FourWayIntersection
+)
+
+var macroblockNames = [...]string{
+	DeadEndGate:          "dead-end gate",
+	StraightChannelGate:  "straight channel gate",
+	StraightChannel:      "straight channel",
+	Turn:                 "turn",
+	ThreeWayIntersection: "three-way intersection",
+	FourWayIntersection:  "four-way intersection",
+}
+
+// String returns the human-readable name of the macroblock kind.
+func (k MacroblockKind) String() string {
+	if k < 0 || int(k) >= len(macroblockNames) {
+		return fmt.Sprintf("macroblock(%d)", int(k))
+	}
+	return macroblockNames[k]
+}
+
+// MacroblockKinds returns all macroblock kinds in a stable order.
+func MacroblockKinds() []MacroblockKind {
+	return []MacroblockKind{
+		DeadEndGate, StraightChannelGate, StraightChannel,
+		Turn, ThreeWayIntersection, FourWayIntersection,
+	}
+}
+
+// HasGateLocation reports whether a qubit can perform a gate inside this
+// macroblock.  Per Figure 9, gate locations may not occur in intersections.
+func (k MacroblockKind) HasGateLocation() bool {
+	return k == DeadEndGate || k == StraightChannelGate
+}
+
+// Ports returns how many adjacent macroblocks this kind connects to.
+func (k MacroblockKind) Ports() int {
+	switch k {
+	case DeadEndGate:
+		return 1
+	case StraightChannelGate, StraightChannel, Turn:
+		return 2
+	case ThreeWayIntersection:
+		return 3
+	case FourWayIntersection:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Area is a chip area measured in macroblocks.  The paper reports every area
+// this way because electrode structure is still evolving (Section 4.1).
+type Area float64
+
+// Macroblock is a single placed macroblock in a layout.
+type Macroblock struct {
+	Kind MacroblockKind
+	// Row and Col position the macroblock on an integer grid.
+	Row, Col int
+}
+
+// Layout is a rectangular arrangement of macroblocks, used for data regions
+// and factory floorplans.  Area is simply the number of macroblocks.
+type Layout struct {
+	Name   string
+	Blocks []Macroblock
+}
+
+// Area returns the total area of the layout in macroblocks.
+func (l *Layout) Area() Area { return Area(len(l.Blocks)) }
+
+// GateLocations returns how many macroblocks in the layout can host a gate.
+func (l *Layout) GateLocations() int {
+	n := 0
+	for _, b := range l.Blocks {
+		if b.Kind.HasGateLocation() {
+			n++
+		}
+	}
+	return n
+}
+
+// Bounds returns the number of rows and columns spanned by the layout.
+func (l *Layout) Bounds() (rows, cols int) {
+	for _, b := range l.Blocks {
+		if b.Row+1 > rows {
+			rows = b.Row + 1
+		}
+		if b.Col+1 > cols {
+			cols = b.Col + 1
+		}
+	}
+	return rows, cols
+}
+
+// NewColumnLayout builds a single column of n macroblocks of the given kind,
+// the shape used for the encoded data qubit region of Figure 10 and for the
+// gate rows inside factories.
+func NewColumnLayout(name string, kind MacroblockKind, n int) *Layout {
+	l := &Layout{Name: name}
+	for i := 0; i < n; i++ {
+		l.Blocks = append(l.Blocks, Macroblock{Kind: kind, Row: i, Col: 0})
+	}
+	return l
+}
+
+// NewGridLayout builds a rows×cols grid of macroblocks.  The kindAt function
+// chooses the kind for each cell; a nil function yields straight channel
+// gates everywhere.
+func NewGridLayout(name string, rows, cols int, kindAt func(r, c int) MacroblockKind) *Layout {
+	l := &Layout{Name: name}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			kind := StraightChannelGate
+			if kindAt != nil {
+				kind = kindAt(r, c)
+			}
+			l.Blocks = append(l.Blocks, Macroblock{Kind: kind, Row: r, Col: c})
+		}
+	}
+	return l
+}
+
+// MovePath describes a qubit movement as a count of straight segments and
+// turns, which is all the latency model needs.
+type MovePath struct {
+	Straights int
+	Turns     int
+}
+
+// Latency returns the symbolic latency of traversing the path.
+func (p MovePath) Latency() LatencyExpr {
+	return Expr(OpStraightMove, p.Straights, OpTurn, p.Turns)
+}
+
+// Eval evaluates the path latency against a technology parameter set.
+func (p MovePath) Eval(t Technology) Microseconds {
+	return p.Latency().Eval(t)
+}

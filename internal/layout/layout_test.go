@@ -1,0 +1,175 @@
+package layout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"speedofdata/internal/iontrap"
+)
+
+func TestDataRegionAreaMatchesTable9(t *testing.T) {
+	// Table 9 data areas: 97 qubits -> 679, 123 -> 861, 32 -> 224.
+	cases := map[int]iontrap.Area{97: 679, 123: 861, 32: 224, 0: 0}
+	for n, want := range cases {
+		if got := DataRegionArea(n); got != want {
+			t.Errorf("DataRegionArea(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if DataRegionArea(-3) != 0 {
+		t.Error("negative qubit count should give zero area")
+	}
+}
+
+func TestDefaultMovementModel(t *testing.T) {
+	tech := iontrap.Default()
+	m := DefaultMovementModel(tech, 16)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.BallisticPerGateUs <= 0 || m.TeleportUs <= 0 {
+		t.Error("movement latencies must be positive")
+	}
+	// Teleportation must be substantially more expensive than ballistic
+	// movement (that is the premise of keeping data regions dense).
+	if float64(m.TeleportUs) < 1.5*float64(m.BallisticPerGateUs) {
+		t.Errorf("teleport (%v) should cost more than ballistic movement (%v)", m.TeleportUs, m.BallisticPerGateUs)
+	}
+	if m.TeleportAncillae < 2 {
+		t.Errorf("teleport should consume extra ancillae, got %d", m.TeleportAncillae)
+	}
+	// Degenerate region size still yields a valid model.
+	if err := DefaultMovementModel(tech, 0).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovementModelValidate(t *testing.T) {
+	bad := MovementModel{BallisticPerGateUs: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative ballistic latency should be invalid")
+	}
+	bad = MovementModel{TeleportAncillae: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative teleport ancillae should be invalid")
+	}
+}
+
+func TestPlanTile(t *testing.T) {
+	tech := iontrap.Default()
+	tile, err := PlanTile(tech, 32, 36.8, 8.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tile.DataArea() != 224 {
+		t.Errorf("tile data area = %v, want 224", tile.DataArea())
+	}
+	// 36.8 + 8.6 zeros/ms needs ceil(45.4/10.5) = 5 zero factories; 8.6
+	// π/8/ms needs 1 π/8 factory.
+	if tile.ZeroFactories != 5 {
+		t.Errorf("zero factories = %d, want 5", tile.ZeroFactories)
+	}
+	if tile.Pi8Factories != 1 {
+		t.Errorf("π/8 factories = %d, want 1", tile.Pi8Factories)
+	}
+	if tile.FactoryArea() != iontrap.Area(5*298+403) {
+		t.Errorf("factory area = %v, want %v", tile.FactoryArea(), 5*298+403)
+	}
+	if tile.TotalArea() != tile.DataArea()+tile.FactoryArea() {
+		t.Error("total area should be data + factory area")
+	}
+	// Net zero bandwidth: 5*10.5 minus the π/8 factory's consumption.
+	if tile.ZeroBandwidthPerMs() <= 30 || tile.ZeroBandwidthPerMs() >= 5*10.6 {
+		t.Errorf("net zero bandwidth = %v", tile.ZeroBandwidthPerMs())
+	}
+	if math.Abs(tile.Pi8BandwidthPerMs()-18.3) > 0.2 {
+		t.Errorf("π/8 bandwidth = %v, want one factory's 18.3", tile.Pi8BandwidthPerMs())
+	}
+	// The factory area dominates the data area, the paper's headline
+	// observation (Table 9, Figure 14c).
+	if tile.FactoryArea() < 3*tile.DataArea() {
+		t.Error("ancilla factories should dominate the tile area")
+	}
+}
+
+func TestPlanTileErrors(t *testing.T) {
+	tech := iontrap.Default()
+	if _, err := PlanTile(tech, 0, 1, 1); err == nil {
+		t.Error("zero data qubits should fail")
+	}
+	if _, err := PlanTile(tech, 4, -1, 0); err == nil {
+		t.Error("negative demand should fail")
+	}
+}
+
+func TestPlanQalypso(t *testing.T) {
+	tech := iontrap.Default()
+	q, err := PlanQalypso(tech, 97, 32, 34.8, 7.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tiles) != 4 {
+		t.Fatalf("97 qubits at 32 per tile should give 4 tiles, got %d", len(q.Tiles))
+	}
+	totalQubits := 0
+	for _, tile := range q.Tiles {
+		totalQubits += tile.DataQubits
+	}
+	if totalQubits != 97 {
+		t.Errorf("tiles hold %d qubits, want 97", totalQubits)
+	}
+	if q.DataArea() != DataRegionArea(97) {
+		t.Errorf("data area = %v, want %v", q.DataArea(), DataRegionArea(97))
+	}
+	if q.TotalArea() != q.DataArea()+q.FactoryArea() {
+		t.Error("total area mismatch")
+	}
+	// Provisioned bandwidth must cover the demand.
+	if q.ZeroBandwidthPerMs() < 34.8 {
+		t.Errorf("net zero bandwidth %v does not cover the 34.8/ms demand", q.ZeroBandwidthPerMs())
+	}
+	if q.Pi8BandwidthPerMs() < 7.0 {
+		t.Errorf("π/8 bandwidth %v does not cover the 7.0/ms demand", q.Pi8BandwidthPerMs())
+	}
+	if err := q.Movement.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanQalypsoErrors(t *testing.T) {
+	tech := iontrap.Default()
+	if _, err := PlanQalypso(tech, 0, 16, 1, 1); err == nil {
+		t.Error("no data qubits should fail")
+	}
+	if _, err := PlanQalypso(tech, 10, 0, 1, 1); err == nil {
+		t.Error("zero tile size should fail")
+	}
+}
+
+// Property: a Qalypso plan always provisions at least the requested
+// bandwidth and its area grows monotonically with the demand.
+func TestQalypsoProvisioningProperty(t *testing.T) {
+	tech := iontrap.Default()
+	f := func(zRaw, pRaw uint8) bool {
+		zero := float64(zRaw%120) + 1
+		pi8 := float64(pRaw % 40)
+		q, err := PlanQalypso(tech, 64, 16, zero, pi8)
+		if err != nil {
+			return false
+		}
+		if q.ZeroBandwidthPerMs() < zero-1e-9 {
+			return false
+		}
+		if q.Pi8BandwidthPerMs() < pi8-1e-9 {
+			return false
+		}
+		bigger, err := PlanQalypso(tech, 64, 16, zero*2, pi8)
+		if err != nil {
+			return false
+		}
+		return bigger.TotalArea() >= q.TotalArea()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

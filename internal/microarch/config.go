@@ -1,0 +1,161 @@
+// Package microarch contains the event-driven microarchitecture simulations
+// behind Section 5.2 (Figure 15): dataflow execution of a benchmark circuit
+// on top of different ancilla-generation and data-movement organisations —
+// QLA and CQLA from prior work, their generalisations GQLA and GCQLA with
+// replicated per-qubit ancilla generation, and the paper's Fully-Multiplexed
+// ancilla distribution (the organisation Qalypso builds on).
+package microarch
+
+import (
+	"fmt"
+
+	"speedofdata/internal/factory"
+	"speedofdata/internal/iontrap"
+	"speedofdata/internal/layout"
+	"speedofdata/internal/schedule"
+)
+
+// Architecture enumerates the simulated microarchitectures.
+type Architecture int
+
+const (
+	// QLA dedicates one serial ancilla generator to every data qubit and
+	// teleports operands to each other for two-qubit gates (Metodi et al.).
+	QLA Architecture = iota
+	// GQLA generalises QLA with several parallel generators per data qubit.
+	GQLA
+	// CQLA adds a compute cache of data qubits; gates run in the cache and
+	// misses cost teleport-based fetches and writebacks (Thaker et al.).
+	CQLA
+	// GCQLA generalises CQLA with several generators per cache slot.
+	GCQLA
+	// FullyMultiplexed distributes encoded ancillae from shared pipelined
+	// factories to whichever data qubit needs them (Figure 14b), the
+	// organisation Qalypso adopts.
+	FullyMultiplexed
+)
+
+var archNames = [...]string{
+	QLA:              "QLA",
+	GQLA:             "GQLA",
+	CQLA:             "CQLA",
+	GCQLA:            "GCQLA",
+	FullyMultiplexed: "Fully-Multiplexed",
+}
+
+// String names the architecture the way Figure 15's legend does.
+func (a Architecture) String() string {
+	if a < 0 || int(a) >= len(archNames) {
+		return fmt.Sprintf("arch(%d)", int(a))
+	}
+	return archNames[a]
+}
+
+// Architectures returns the simulated organisations in presentation order.
+func Architectures() []Architecture {
+	return []Architecture{QLA, GQLA, CQLA, GCQLA, FullyMultiplexed}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Arch Architecture
+	// Latency supplies gate and QEC timings (Section 3 model).
+	Latency schedule.LatencyModel
+	// Movement supplies ballistic and teleportation costs (Section 5.3).
+	Movement layout.MovementModel
+
+	// GeneratorsPerQubit is the number of serial (simple-factory) ancilla
+	// generators at each data qubit (QLA uses 1; GQLA sweeps it).  For CQLA
+	// and GCQLA it is the number of generators per cache slot.
+	GeneratorsPerQubit int
+	// CacheSlots is the compute-cache capacity in data qubits (CQLA/GCQLA).
+	CacheSlots int
+	// SharedFactories is the number of shared pipelined zero factories
+	// (Fully-Multiplexed).
+	SharedFactories int
+
+	// Pi8BandwidthPerMs optionally records the benchmark's π/8 ancilla
+	// demand so the reported factory area can include the π/8 encoders and
+	// their feed factories (Table 9 accounting); zero omits them.
+	Pi8BandwidthPerMs float64
+}
+
+// DefaultConfig returns a configuration for the given architecture with the
+// paper's technology parameters and one generation resource per site.
+func DefaultConfig(arch Architecture) Config {
+	tech := iontrap.Default()
+	return Config{
+		Arch:               arch,
+		Latency:            schedule.DefaultLatencyModel(),
+		Movement:           layout.DefaultMovementModel(tech, 32),
+		GeneratorsPerQubit: 1,
+		CacheSlots:         16,
+		SharedFactories:    1,
+	}
+}
+
+// Validate checks the configuration for the selected architecture.
+func (c Config) Validate() error {
+	if err := c.Latency.Validate(); err != nil {
+		return err
+	}
+	if err := c.Movement.Validate(); err != nil {
+		return err
+	}
+	switch c.Arch {
+	case QLA, GQLA:
+		if c.GeneratorsPerQubit <= 0 {
+			return fmt.Errorf("microarch: %v needs at least one generator per qubit", c.Arch)
+		}
+	case CQLA, GCQLA:
+		if c.GeneratorsPerQubit <= 0 {
+			return fmt.Errorf("microarch: %v needs at least one generator per cache slot", c.Arch)
+		}
+		if c.CacheSlots <= 0 {
+			return fmt.Errorf("microarch: %v needs a positive cache size", c.Arch)
+		}
+	case FullyMultiplexed:
+		if c.SharedFactories <= 0 {
+			return fmt.Errorf("microarch: %v needs at least one shared factory", c.Arch)
+		}
+	default:
+		return fmt.Errorf("microarch: unknown architecture %v", c.Arch)
+	}
+	if c.Pi8BandwidthPerMs < 0 {
+		return fmt.Errorf("microarch: negative π/8 bandwidth")
+	}
+	return nil
+}
+
+// generatorRatePerMs is the encoded-zero production rate of one per-qubit
+// serial generator (the simple factory of Section 4.3).
+func (c Config) generatorRatePerMs() float64 {
+	return factory.SimpleZeroFactory{Tech: c.Latency.Tech}.ThroughputPerMs()
+}
+
+// sharedFactoryRatePerMs is the rate of one shared pipelined factory.
+func (c Config) sharedFactoryRatePerMs() float64 {
+	return factory.PipelinedZeroFactory(c.Latency.Tech).ThroughputPerMs
+}
+
+// AncillaFactoryArea reports the total ancilla-generation area implied by the
+// configuration for a circuit with nQubits data qubits, optionally including
+// the π/8 encoding supply (Figure 15's x axis).
+func (c Config) AncillaFactoryArea(nQubits int) iontrap.Area {
+	var area iontrap.Area
+	simple := factory.SimpleZeroFactory{Tech: c.Latency.Tech}
+	pipelined := factory.PipelinedZeroFactory(c.Latency.Tech)
+	switch c.Arch {
+	case QLA, GQLA:
+		area = iontrap.Area(float64(nQubits*c.GeneratorsPerQubit) * float64(simple.Area()))
+	case CQLA, GCQLA:
+		area = iontrap.Area(float64(c.CacheSlots*c.GeneratorsPerQubit) * float64(simple.Area()))
+	case FullyMultiplexed:
+		area = iontrap.Area(float64(c.SharedFactories) * float64(pipelined.TotalArea()))
+	}
+	if c.Pi8BandwidthPerMs > 0 {
+		pi8 := factory.Pi8Factory(c.Latency.Tech)
+		area += factory.Pi8SupplyArea(pi8, pipelined, c.Pi8BandwidthPerMs)
+	}
+	return area
+}

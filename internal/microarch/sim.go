@@ -1,0 +1,267 @@
+package microarch
+
+import (
+	"fmt"
+	"math"
+
+	"speedofdata/internal/iontrap"
+	"speedofdata/internal/quantum"
+)
+
+// Result summarises one simulation run.
+type Result struct {
+	Arch Architecture
+	// ExecutionTime is the simulated makespan.
+	ExecutionTime iontrap.Microseconds
+	// AncillaFactoryArea is the ancilla-generation area of the configuration
+	// (Figure 15's x axis).
+	AncillaFactoryArea iontrap.Area
+	// Teleports counts encoded-qubit teleportations performed.
+	Teleports int
+	// CacheMisses counts compute-cache misses (CQLA/GCQLA only).
+	CacheMisses int
+	// AncillaeConsumed counts encoded zero ancillae drawn from generators.
+	AncillaeConsumed int
+}
+
+// ExecutionTimeMs is the makespan in milliseconds.
+func (r Result) ExecutionTimeMs() float64 { return r.ExecutionTime.Milliseconds() }
+
+// pool is a token-bucket ancilla source: production accumulates at a steady
+// rate and consumption is tracked cumulatively, so the time at which the n-th
+// ancilla becomes available is n/rate.
+type pool struct {
+	ratePerUs float64
+	consumed  float64
+}
+
+// acquire reserves n ancillae and returns the earliest time they are all
+// available.
+func (p *pool) acquire(n float64) float64 {
+	p.consumed += n
+	if p.ratePerUs <= 0 {
+		return math.Inf(1)
+	}
+	return p.consumed / p.ratePerUs
+}
+
+// lruCache is the CQLA compute cache: a fixed number of data-qubit slots with
+// least-recently-used replacement.
+type lruCache struct {
+	capacity int
+	stamp    int64
+	entries  map[int]int64 // qubit -> last use stamp
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{capacity: capacity, entries: make(map[int]int64, capacity)}
+}
+
+// touch marks a qubit as resident and most recently used, reporting whether
+// the access missed and whether the miss required evicting another qubit.
+func (c *lruCache) touch(q int) (miss, evicted bool) {
+	c.stamp++
+	if _, ok := c.entries[q]; ok {
+		c.entries[q] = c.stamp
+		return false, false
+	}
+	miss = true
+	if len(c.entries) >= c.capacity {
+		oldestQ, oldest := -1, int64(math.MaxInt64)
+		for qq, s := range c.entries {
+			if s < oldest {
+				oldest, oldestQ = s, qq
+			}
+		}
+		delete(c.entries, oldestQ)
+		evicted = true
+	}
+	c.entries[q] = c.stamp
+	return miss, evicted
+}
+
+// Simulate runs the dataflow simulation of a logical circuit on the selected
+// microarchitecture.  Gates issue in first-come-first-served order of data
+// readiness; each gate waits for its operands, for any required data movement
+// (ballistic, teleportation, or cache fetch/writeback), and for the encoded
+// ancillae its QEC step and teleports consume, drawn from the architecture's
+// generator pools.
+func Simulate(c *quantum.Circuit, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Arch: cfg.Arch, AncillaFactoryArea: cfg.AncillaFactoryArea(c.NumQubits)}
+	if len(c.Gates) == 0 {
+		return res, nil
+	}
+
+	dag := quantum.BuildDAG(c)
+	n := len(c.Gates)
+	finish := make([]float64, n)
+	ready := make([]float64, n)
+	indeg := make([]int, n)
+	copy(indeg, dag.InDegree)
+
+	// Ancilla pools.
+	perQubitRate := cfg.generatorRatePerMs() / 1000.0 * float64(cfg.GeneratorsPerQubit)
+	var qubitPools []*pool
+	var sharedPool *pool
+	var cache *lruCache
+	switch cfg.Arch {
+	case QLA, GQLA:
+		qubitPools = make([]*pool, c.NumQubits)
+		for i := range qubitPools {
+			qubitPools[i] = &pool{ratePerUs: perQubitRate}
+		}
+	case CQLA, GCQLA:
+		sharedPool = &pool{ratePerUs: perQubitRate * float64(cfg.CacheSlots)}
+		cache = newLRUCache(cfg.CacheSlots)
+	case FullyMultiplexed:
+		sharedPool = &pool{ratePerUs: cfg.sharedFactoryRatePerMs() / 1000.0 * float64(cfg.SharedFactories)}
+	}
+
+	perQEC := float64(cfg.Latency.ZeroAncillaePerQEC)
+	teleportCost := float64(cfg.Movement.TeleportAncillae)
+	teleportUs := float64(cfg.Movement.TeleportUs)
+	ballisticUs := float64(cfg.Movement.BallisticPerGateUs)
+
+	pq := &readyQueue{}
+	for i, d := range indeg {
+		if d == 0 {
+			pq.push(readyItem{gate: i, ready: 0})
+		}
+	}
+	processed := 0
+	makespan := 0.0
+	for pq.len() > 0 {
+		item := pq.pop()
+		gi := item.gate
+		g := c.Gates[gi]
+		processed++
+
+		start := item.ready
+		extraLatency := 0.0
+		ancillae := perQEC
+		var sites []*pool
+
+		switch cfg.Arch {
+		case QLA, GQLA:
+			// Two-qubit gates teleport the first operand to the second's
+			// home cell and back; QEC and teleport ancillae come from the
+			// execution site's dedicated generator.
+			site := qubitPools[g.Qubits[len(g.Qubits)-1]]
+			sites = append(sites, site)
+			if g.Kind.Arity() >= 2 {
+				extraLatency += 2 * teleportUs
+				ancillae += 2 * teleportCost
+				res.Teleports += 2
+			}
+		case CQLA, GCQLA:
+			// Every operand must be resident in the compute cache; misses
+			// cost a fetch teleport (plus a writeback teleport when a slot
+			// must be evicted) and the associated ancillae.
+			for _, q := range g.Qubits {
+				miss, evicted := cache.touch(q)
+				if miss {
+					res.CacheMisses++
+					extraLatency += teleportUs
+					ancillae += teleportCost
+					res.Teleports++
+					if evicted {
+						extraLatency += teleportUs
+						ancillae += teleportCost
+						res.Teleports++
+					}
+				}
+			}
+			if g.Kind.Arity() >= 2 {
+				extraLatency += ballisticUs
+			}
+			sites = append(sites, sharedPool)
+		case FullyMultiplexed:
+			// Encoded ancillae are distributed from the shared factories to
+			// wherever they are needed; data moves ballistically inside its
+			// dense region.
+			if g.Kind.Arity() >= 2 {
+				extraLatency += ballisticUs
+			}
+			sites = append(sites, sharedPool)
+		}
+
+		issue := start
+		for _, site := range sites {
+			if t := site.acquire(ancillae / float64(len(sites))); t > issue {
+				issue = t
+			}
+		}
+		res.AncillaeConsumed += int(math.Round(ancillae))
+		finish[gi] = issue + extraLatency + float64(cfg.Latency.GateWeightSpeedOfData(g))
+		if finish[gi] > makespan {
+			makespan = finish[gi]
+		}
+		for _, s := range dag.Succ[gi] {
+			if finish[gi] > ready[s] {
+				ready[s] = finish[gi]
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				pq.push(readyItem{gate: s, ready: ready[s]})
+			}
+		}
+	}
+	if processed != n {
+		return Result{}, fmt.Errorf("microarch: dependence graph of %q is cyclic", c.Name)
+	}
+	res.ExecutionTime = iontrap.Microseconds(makespan)
+	return res, nil
+}
+
+// readyItem / readyQueue: a small binary min-heap keyed by data readiness.
+type readyItem struct {
+	gate  int
+	ready float64
+}
+
+type readyQueue struct{ items []readyItem }
+
+func (q *readyQueue) len() int { return len(q.items) }
+
+func (q *readyQueue) push(it readyItem) {
+	q.items = append(q.items, it)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.items[parent].ready <= q.items[i].ready {
+			break
+		}
+		q.items[parent], q.items[i] = q.items[i], q.items[parent]
+		i = parent
+	}
+}
+
+func (q *readyQueue) pop() readyItem {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.items) && q.items[l].ready < q.items[smallest].ready {
+			smallest = l
+		}
+		if r < len(q.items) && q.items[r].ready < q.items[smallest].ready {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top
+}

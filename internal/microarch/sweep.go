@@ -1,0 +1,146 @@
+package microarch
+
+import (
+	"fmt"
+	"sort"
+
+	"speedofdata/internal/quantum"
+)
+
+// CurvePoint is one point of a Figure 15 curve: execution time as a function
+// of total ancilla factory area for one microarchitecture.
+type CurvePoint struct {
+	// AreaMacroblocks is the ancilla factory area (x axis).
+	AreaMacroblocks float64
+	// ExecutionTimeMs is the simulated execution time (y axis).
+	ExecutionTimeMs float64
+	// Scale is the swept resource count (generators per qubit / per slot, or
+	// shared factories) that produced the point.
+	Scale int
+}
+
+// Curve is one architecture's execution-time/area trade-off curve.
+type Curve struct {
+	Arch   Architecture
+	Points []CurvePoint
+}
+
+// Sweep simulates the circuit at each resource scale for one architecture
+// and returns the resulting curve.  For QLA/GQLA and CQLA/GCQLA the scale is
+// the number of generators per data qubit (or cache slot); for
+// Fully-Multiplexed it is the number of shared pipelined factories.
+func Sweep(c *quantum.Circuit, base Config, scales []int) (Curve, error) {
+	if len(scales) == 0 {
+		return Curve{}, fmt.Errorf("microarch: no scales to sweep")
+	}
+	curve := Curve{Arch: base.Arch}
+	for _, s := range scales {
+		if s <= 0 {
+			return Curve{}, fmt.Errorf("microarch: non-positive scale %d", s)
+		}
+		cfg := base
+		switch base.Arch {
+		case QLA, GQLA, CQLA, GCQLA:
+			cfg.GeneratorsPerQubit = s
+		case FullyMultiplexed:
+			cfg.SharedFactories = s
+		}
+		res, err := Simulate(c, cfg)
+		if err != nil {
+			return Curve{}, err
+		}
+		curve.Points = append(curve.Points, CurvePoint{
+			AreaMacroblocks: float64(res.AncillaFactoryArea),
+			ExecutionTimeMs: res.ExecutionTimeMs(),
+			Scale:           s,
+		})
+	}
+	sort.Slice(curve.Points, func(i, j int) bool {
+		return curve.Points[i].AreaMacroblocks < curve.Points[j].AreaMacroblocks
+	})
+	return curve, nil
+}
+
+// DefaultScales returns the resource sweep used for Figure 15: powers of two
+// from one generator (or factory) up to the given maximum.
+func DefaultScales(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var scales []int
+	for s := 1; s <= max; s *= 2 {
+		scales = append(scales, s)
+	}
+	return scales
+}
+
+// Figure15Config bundles the per-architecture settings used to regenerate
+// Figure 15 for one benchmark.
+type Figure15Config struct {
+	// Base is the shared configuration (latency, movement, cache size, π/8
+	// accounting); the architecture and resource counts are overridden per
+	// curve.
+	Base Config
+	// MaxScale bounds the resource sweep (default 64).
+	MaxScale int
+}
+
+// Figure15 produces the execution-time/area curves of Figure 15 for one
+// benchmark circuit: QLA and CQLA as proposed (single generator per site),
+// their generalisations GQLA and GCQLA swept over generators per site, and
+// Fully-Multiplexed swept over shared factories.
+func Figure15(c *quantum.Circuit, cfg Figure15Config) (map[Architecture]Curve, error) {
+	maxScale := cfg.MaxScale
+	if maxScale <= 0 {
+		maxScale = 64
+	}
+	scales := DefaultScales(maxScale)
+	out := make(map[Architecture]Curve)
+	for _, arch := range Architectures() {
+		base := cfg.Base
+		base.Arch = arch
+		var archScales []int
+		switch arch {
+		case QLA, CQLA:
+			// The original proposals fix one serial generator per site; they
+			// appear as single points.
+			archScales = []int{1}
+		default:
+			archScales = scales
+		}
+		curve, err := Sweep(c, base, archScales)
+		if err != nil {
+			return nil, err
+		}
+		out[arch] = curve
+	}
+	return out, nil
+}
+
+// PlateauTimeMs returns the best (smallest) execution time on a curve, i.e.
+// the plateau reached once ancilla generation stops being the bottleneck.
+func PlateauTimeMs(curve Curve) float64 {
+	best := 0.0
+	for i, p := range curve.Points {
+		if i == 0 || p.ExecutionTimeMs < best {
+			best = p.ExecutionTimeMs
+		}
+	}
+	return best
+}
+
+// AreaToReach returns the smallest area on the curve whose execution time is
+// within the given factor of the curve's plateau, or the largest area if the
+// curve never gets that close.
+func AreaToReach(curve Curve, factor float64) float64 {
+	plateau := PlateauTimeMs(curve)
+	for _, p := range curve.Points {
+		if p.ExecutionTimeMs <= plateau*factor {
+			return p.AreaMacroblocks
+		}
+	}
+	if len(curve.Points) == 0 {
+		return 0
+	}
+	return curve.Points[len(curve.Points)-1].AreaMacroblocks
+}

@@ -1,0 +1,188 @@
+package quantum
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Circuit is an ordered list of gates over a fixed set of qubits.  The same
+// structure is used both for logical circuits (qubits are encoded blocks) and
+// physical circuits (qubits are ions); the interpretation is up to the
+// consumer.
+type Circuit struct {
+	// Name identifies the circuit in reports (e.g. "32-bit QCLA").
+	Name string
+	// NumQubits is the number of qubits the circuit acts on.
+	NumQubits int
+	// Gates is the gate sequence in program order.
+	Gates []Gate
+	// DataQubits optionally lists which qubits are long-lived data (or data
+	// ancillae) as opposed to scratch; nil means all qubits are data.
+	DataQubits []int
+}
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(name string, n int) *Circuit {
+	if n < 0 {
+		panic(fmt.Sprintf("quantum: negative qubit count %d", n))
+	}
+	return &Circuit{Name: name, NumQubits: n}
+}
+
+// Append validates and appends gates to the circuit.  It returns the circuit
+// to allow chaining.
+func (c *Circuit) Append(gates ...Gate) *Circuit {
+	for _, g := range gates {
+		if err := g.Validate(); err != nil {
+			panic(err)
+		}
+		for _, q := range g.Qubits {
+			if q >= c.NumQubits {
+				panic(fmt.Sprintf("quantum: circuit %q has %d qubits but gate %s references q%d",
+					c.Name, c.NumQubits, g, q))
+			}
+		}
+		c.Gates = append(c.Gates, g)
+	}
+	return c
+}
+
+// Add builds a gate from kind and qubits and appends it.
+func (c *Circuit) Add(kind GateKind, qubits ...int) *Circuit {
+	return c.Append(Gate{Kind: kind, Qubits: qubits})
+}
+
+// AddRz appends a Z rotation by angle θ = anglePi·π on the given qubit.
+func (c *Circuit) AddRz(qubit int, anglePi float64) *Circuit {
+	return c.Append(NewRz(qubit, anglePi))
+}
+
+// AddCPhase appends a controlled phase rotation by θ = anglePi·π.
+func (c *Circuit) AddCPhase(control, target int, anglePi float64) *Circuit {
+	return c.Append(NewCPhase(control, target, anglePi))
+}
+
+// Len returns the number of gates in the circuit.
+func (c *Circuit) Len() int { return len(c.Gates) }
+
+// Validate checks every gate references qubits inside the circuit.
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+		for _, q := range g.Qubits {
+			if q >= c.NumQubits {
+				return fmt.Errorf("gate %d (%s): qubit %d out of range (circuit has %d)", i, g, q, c.NumQubits)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises a circuit's composition, used by the characterisation
+// tables in Section 3.
+type Stats struct {
+	NumQubits int
+	// TotalGates counts every gate, including preparations and measurements.
+	TotalGates int
+	// CountByKind is the per-kind gate count.
+	CountByKind map[GateKind]int
+	// Transversal and NonTransversal split gates by the [[7,1,3]]
+	// transversality classification of Section 2.1.
+	Transversal    int
+	NonTransversal int
+	// Pi8Gates counts gates that consume an encoded π/8 ancilla (T/Tdg).
+	Pi8Gates int
+	// TwoQubitGates counts gates with arity >= 2.
+	TwoQubitGates int
+	// Depth is the dataflow depth (longest chain of dependent gates).
+	Depth int
+}
+
+// NonTransversalFraction is the fraction of gates that are non-transversal,
+// reported in Section 3.3 (40.5% / 41.0% / 46.9% for the three benchmarks).
+func (s Stats) NonTransversalFraction() float64 {
+	if s.TotalGates == 0 {
+		return 0
+	}
+	return float64(s.NonTransversal) / float64(s.TotalGates)
+}
+
+// ComputeStats analyses the circuit.
+func (c *Circuit) ComputeStats() Stats {
+	s := Stats{
+		NumQubits:   c.NumQubits,
+		TotalGates:  len(c.Gates),
+		CountByKind: make(map[GateKind]int),
+	}
+	lastLayer := make([]int, c.NumQubits)
+	for _, g := range c.Gates {
+		s.CountByKind[g.Kind]++
+		if g.Kind.TransversalOnSteane() {
+			s.Transversal++
+		} else {
+			s.NonTransversal++
+		}
+		if g.Kind.RequiresPi8Ancilla() {
+			s.Pi8Gates++
+		}
+		if g.Kind.Arity() >= 2 {
+			s.TwoQubitGates++
+		}
+		layer := 0
+		for _, q := range g.Qubits {
+			if lastLayer[q] > layer {
+				layer = lastLayer[q]
+			}
+		}
+		layer++
+		for _, q := range g.Qubits {
+			lastLayer[q] = layer
+		}
+		if layer > s.Depth {
+			s.Depth = layer
+		}
+	}
+	return s
+}
+
+// KindsSorted returns the gate kinds present in the stats in a stable order,
+// convenient for deterministic report output.
+func (s Stats) KindsSorted() []GateKind {
+	kinds := make([]GateKind, 0, len(s.CountByKind))
+	for k := range s.CountByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// Concat appends a copy of other's gates to c, offsetting other's qubit
+// indices by qubitOffset.  The circuit must already have enough qubits.
+func (c *Circuit) Concat(other *Circuit, qubitOffset int) *Circuit {
+	for _, g := range other.Gates {
+		ng := Gate{Kind: g.Kind, Angle: g.Angle, Label: g.Label}
+		ng.Qubits = make([]int, len(g.Qubits))
+		for i, q := range g.Qubits {
+			ng.Qubits[i] = q + qubitOffset
+		}
+		c.Append(ng)
+	}
+	return c
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{Name: c.Name, NumQubits: c.NumQubits}
+	out.Gates = make([]Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		q := make([]int, len(g.Qubits))
+		copy(q, g.Qubits)
+		out.Gates[i] = Gate{Kind: g.Kind, Qubits: q, Angle: g.Angle, Label: g.Label}
+	}
+	if c.DataQubits != nil {
+		out.DataQubits = append([]int(nil), c.DataQubits...)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package quantum
+
+import "fmt"
+
+// DAG is the dataflow graph of a circuit: node i is gate i of the source
+// circuit, and an edge u->v means gate v consumes a qubit last touched by
+// gate u.  The scheduler and the microarchitecture simulators both execute
+// circuits in dataflow order, which is what "running at the speed of data"
+// means in the paper.
+type DAG struct {
+	Circuit *Circuit
+	// Succ[i] lists the successors of gate i; Pred[i] its predecessors.
+	Succ [][]int
+	Pred [][]int
+	// InDegree[i] is len(Pred[i]), kept separately so simulations can copy
+	// and decrement it cheaply.
+	InDegree []int
+}
+
+// BuildDAG constructs the dataflow graph of the circuit.  Gates are connected
+// through the last writer of each qubit; measurements and preparations take
+// part in the dependence chain like any other gate (a preparation after a
+// measurement models qubit reuse).
+func BuildDAG(c *Circuit) *DAG {
+	n := len(c.Gates)
+	d := &DAG{
+		Circuit:  c,
+		Succ:     make([][]int, n),
+		Pred:     make([][]int, n),
+		InDegree: make([]int, n),
+	}
+	lastWriter := make([]int, c.NumQubits)
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	for i, g := range c.Gates {
+		seen := make(map[int]bool, len(g.Qubits))
+		for _, q := range g.Qubits {
+			w := lastWriter[q]
+			if w >= 0 && !seen[w] {
+				d.Succ[w] = append(d.Succ[w], i)
+				d.Pred[i] = append(d.Pred[i], w)
+				seen[w] = true
+			}
+		}
+		for _, q := range g.Qubits {
+			lastWriter[q] = i
+		}
+		d.InDegree[i] = len(d.Pred[i])
+	}
+	return d
+}
+
+// Roots returns the gates with no predecessors.
+func (d *DAG) Roots() []int {
+	var roots []int
+	for i, deg := range d.InDegree {
+		if deg == 0 {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// TopoOrder returns a topological ordering of the gates.  Because BuildDAG
+// only ever adds edges from earlier to later gates, program order is already
+// topological; the method exists so callers do not have to rely on that.
+func (d *DAG) TopoOrder() ([]int, error) {
+	n := len(d.InDegree)
+	indeg := make([]int, n)
+	copy(indeg, d.InDegree)
+	queue := make([]int, 0, n)
+	for i, deg := range indeg {
+		if deg == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range d.Succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("quantum: dependence graph of %q has a cycle", d.Circuit.Name)
+	}
+	return order, nil
+}
+
+// CriticalPath returns, for each gate, the length (in gates) of the longest
+// dependence chain ending at that gate, along with the overall maximum.
+// This is the circuit depth used by Stats.
+func (d *DAG) CriticalPath() (perGate []int, depth int) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		// BuildDAG cannot create cycles; a cycle here is a programming error.
+		panic(err)
+	}
+	perGate = make([]int, len(order))
+	for _, u := range order {
+		longest := 0
+		for _, p := range d.Pred[u] {
+			if perGate[p] > longest {
+				longest = perGate[p]
+			}
+		}
+		perGate[u] = longest + 1
+		if perGate[u] > depth {
+			depth = perGate[u]
+		}
+	}
+	return perGate, depth
+}
+
+// WeightedCriticalPath returns the longest weighted dependence chain where
+// weight(i) is the duration of gate i.  finish[i] is the earliest finish time
+// of gate i when every gate starts as soon as its predecessors finish
+// (infinite hardware); the returned makespan is the maximum finish time.
+// This is the "speed of data" execution time of Section 3.
+func (d *DAG) WeightedCriticalPath(weight func(g Gate) float64) (finish []float64, makespan float64) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	finish = make([]float64, len(order))
+	for _, u := range order {
+		start := 0.0
+		for _, p := range d.Pred[u] {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[u] = start + weight(d.Circuit.Gates[u])
+		if finish[u] > makespan {
+			makespan = finish[u]
+		}
+	}
+	return finish, makespan
+}

@@ -1,0 +1,190 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildDAGFigure1(t *testing.T) {
+	c := buildSampleCircuit()
+	d := BuildDAG(c)
+	// Gate indices: 0:H q0, 1:H q1, 2:H q2, 3:CX q0q1, 4:T q1, 5:CX q0q1, 6:T q1.
+	roots := d.Roots()
+	if len(roots) != 3 {
+		t.Fatalf("roots = %v, want the three H gates", roots)
+	}
+	// CX at 3 depends on both H q0 (0) and H q1 (1).
+	if len(d.Pred[3]) != 2 {
+		t.Errorf("CX preds = %v, want 2 predecessors", d.Pred[3])
+	}
+	// T at 4 depends only on the CX.
+	if len(d.Pred[4]) != 1 || d.Pred[4][0] != 3 {
+		t.Errorf("T preds = %v, want [3]", d.Pred[4])
+	}
+	// H q2 has no successors.
+	if len(d.Succ[2]) != 0 {
+		t.Errorf("H q2 successors = %v, want none", d.Succ[2])
+	}
+}
+
+func TestTopoOrderIsValid(t *testing.T) {
+	c := buildSampleCircuit()
+	d := BuildDAG(c)
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(order))
+	for i, g := range order {
+		pos[g] = i
+	}
+	for u, succs := range d.Succ {
+		for _, v := range succs {
+			if pos[u] >= pos[v] {
+				t.Fatalf("topological order violated: %d before %d", u, v)
+			}
+		}
+	}
+}
+
+func TestCriticalPathDepthMatchesStats(t *testing.T) {
+	c := buildSampleCircuit()
+	d := BuildDAG(c)
+	_, depth := d.CriticalPath()
+	if depth != c.ComputeStats().Depth {
+		t.Errorf("DAG depth = %d, stats depth = %d", depth, c.ComputeStats().Depth)
+	}
+}
+
+func TestWeightedCriticalPath(t *testing.T) {
+	c := buildSampleCircuit()
+	d := BuildDAG(c)
+	// Weight every gate 1: makespan equals depth.
+	_, makespan := d.WeightedCriticalPath(func(g Gate) float64 { return 1 })
+	if makespan != 5 {
+		t.Errorf("unit-weight makespan = %v, want 5", makespan)
+	}
+	// Two-qubit gates 10, single-qubit 1: the q1 chain is H(1) CX(10) T(1) CX(10) T(1) = 23.
+	finish, makespan := d.WeightedCriticalPath(func(g Gate) float64 {
+		if g.Kind.Arity() >= 2 {
+			return 10
+		}
+		return 1
+	})
+	if makespan != 23 {
+		t.Errorf("weighted makespan = %v, want 23", makespan)
+	}
+	if len(finish) != c.Len() {
+		t.Errorf("finish has %d entries, want %d", len(finish), c.Len())
+	}
+	for i, f := range finish {
+		if f <= 0 {
+			t.Errorf("gate %d finish time %v not positive", i, f)
+		}
+	}
+}
+
+func TestDAGEmptyCircuit(t *testing.T) {
+	c := NewCircuit("empty", 3)
+	d := BuildDAG(c)
+	if len(d.Roots()) != 0 {
+		t.Error("empty circuit should have no roots")
+	}
+	order, err := d.TopoOrder()
+	if err != nil || len(order) != 0 {
+		t.Error("empty circuit topo order should be empty")
+	}
+	_, depth := d.CriticalPath()
+	if depth != 0 {
+		t.Error("empty circuit depth should be 0")
+	}
+}
+
+// Property: for random circuits, (1) the weighted makespan with unit weights
+// equals the depth, (2) the makespan is at least the largest single weight
+// and at most the sum of all weights.
+func TestWeightedCriticalPathBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCircuit(r, 6, 50)
+		d := BuildDAG(c)
+		_, unitMakespan := d.WeightedCriticalPath(func(Gate) float64 { return 1 })
+		_, depth := d.CriticalPath()
+		if int(unitMakespan) != depth {
+			return false
+		}
+		weight := func(g Gate) float64 {
+			if g.Kind.Arity() >= 2 {
+				return 10
+			}
+			return 1
+		}
+		_, makespan := d.WeightedCriticalPath(weight)
+		sum := 0.0
+		maxW := 0.0
+		for _, g := range c.Gates {
+			w := weight(g)
+			sum += w
+			if w > maxW {
+				maxW = w
+			}
+		}
+		return makespan >= maxW-1e-9 && makespan <= sum+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every non-root gate has at least one predecessor that shares a
+// qubit with it.
+func TestDAGEdgesShareQubitsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCircuit(r, 6, 40)
+		d := BuildDAG(c)
+		for i := range c.Gates {
+			for _, p := range d.Pred[i] {
+				if !gatesShareQubit(c.Gates[i], c.Gates[p]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func gatesShareQubit(a, b Gate) bool {
+	for _, qa := range a.Qubits {
+		for _, qb := range b.Qubits {
+			if qa == qb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Property: serial circuits (every gate on the same qubit) have depth equal
+// to gate count and weighted makespan equal to the weight sum.
+func TestSerialCircuitProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		c := NewCircuit("serial", 1)
+		for i := 0; i < n; i++ {
+			c.Add(GateT, 0)
+		}
+		d := BuildDAG(c)
+		_, depth := d.CriticalPath()
+		_, makespan := d.WeightedCriticalPath(func(Gate) float64 { return 2.5 })
+		return depth == n && math.Abs(makespan-2.5*float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

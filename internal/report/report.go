@@ -1,0 +1,151 @@
+// Package report renders experiment results as aligned plain-text tables and
+// simple ASCII series, the output format of the qsd command-line tool and of
+// EXPERIMENTS.md regeneration.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row built from arbitrary values formatted with %v
+// (float64 values are formatted compactly).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values in scientific notation, everything else with one decimal.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.2e", v)
+	case math.Abs(v-math.Round(v)) < 1e-9 && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if len(t.Headers) > 0 {
+		measure(t.Headers)
+	}
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteString("\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is a one-dimensional curve rendered as an ASCII bar chart, used for
+// the figure reproductions.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Points []SeriesPoint
+	// Width is the bar width in characters (default 50).
+	Width int
+}
+
+// SeriesPoint is one (x, y) sample.
+type SeriesPoint struct {
+	X, Y float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, SeriesPoint{X: x, Y: y})
+}
+
+// String renders the series with one bar per point, scaled to the maximum Y.
+func (s Series) String() string {
+	width := s.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxY := 0.0
+	for _, p := range s.Points {
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	if s.XLabel != "" || s.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s, y: %s\n", s.XLabel, s.YLabel)
+	}
+	for _, p := range s.Points {
+		bar := 0
+		if maxY > 0 {
+			bar = int(math.Round(p.Y / maxY * float64(width)))
+		}
+		fmt.Fprintf(&b, "%12s | %-*s %s\n", FormatFloat(p.X), width, strings.Repeat("#", bar), FormatFloat(p.Y))
+	}
+	return b.String()
+}
