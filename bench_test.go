@@ -7,10 +7,12 @@
 package speedofdata_test
 
 import (
+	"context"
 	"testing"
 
 	"speedofdata/internal/circuits"
 	"speedofdata/internal/core"
+	"speedofdata/internal/engine"
 	"speedofdata/internal/factory"
 	"speedofdata/internal/fowler"
 	"speedofdata/internal/iontrap"
@@ -378,4 +380,78 @@ func BenchmarkAblationRotationSynthesis(b *testing.B) {
 	}
 	b.ReportMetric(cascadeCX, "cascade-expected-cx")
 	b.ReportMetric(sequenceGates, "ht-sequence-gates")
+}
+
+// --- Experiment-engine benches ---
+//
+// The engine benches measure the wall-clock effect of fanning the hot
+// experiment paths (Monte Carlo sampling and the Figure 15 grid) across
+// GOMAXPROCS workers versus the sequential reference.  Both variants produce
+// byte-identical results (see TestMonteCarloParallelMatchesSequential and
+// TestFigure15EngineMatchesSequential); the speedup is near-linear in core
+// count on the Monte Carlo path because chunks are embarrassingly parallel.
+
+func benchmarkMonteCarloEngine(b *testing.B, workers int) {
+	code := steane.NewCode()
+	sim, err := noise.NewSimulator(code, steane.VerifyAndCorrectProtocol(code), noise.DefaultModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh seed per iteration defeats the engine's result cache so
+		// the bench measures simulation throughput, not cache lookups.
+		if _, err := sim.MonteCarloEngine(context.Background(), eng, 100000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineMonteCarloSequential is the 1-worker reference for the
+// parallel Monte Carlo path.
+func BenchmarkEngineMonteCarloSequential(b *testing.B) { benchmarkMonteCarloEngine(b, 1) }
+
+// BenchmarkEngineMonteCarloParallel runs the same workload on GOMAXPROCS
+// workers.
+func BenchmarkEngineMonteCarloParallel(b *testing.B) { benchmarkMonteCarloEngine(b, 0) }
+
+func benchmarkFigure15Engine(b *testing.B, workers int) {
+	c, err := circuits.Generate(circuits.QCLA, benchBits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := microarch.DefaultConfig(microarch.FullyMultiplexed)
+	base.CacheSlots = 16
+	cfg := microarch.Figure15Config{Base: base, MaxScale: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh engine per iteration defeats the result cache.
+		if _, err := microarch.Figure15Engine(context.Background(), engine.New(workers), c, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineFigure15Sequential is the 1-worker reference for the
+// architecture × scale grid.
+func BenchmarkEngineFigure15Sequential(b *testing.B) { benchmarkFigure15Engine(b, 1) }
+
+// BenchmarkEngineFigure15Parallel runs the grid on GOMAXPROCS workers.
+func BenchmarkEngineFigure15Parallel(b *testing.B) { benchmarkFigure15Engine(b, 0) }
+
+// BenchmarkEngineCachedExperiment measures a fully cache-served experiment
+// repeat: the cost of regenerating a table once its jobs are memoised.
+func BenchmarkEngineCachedExperiment(b *testing.B) {
+	e := core.NewParallelExperiments(0)
+	e.Bits = benchBits
+	if _, err := e.Table2And3(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Table2And3(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

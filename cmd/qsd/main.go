@@ -7,18 +7,28 @@
 //	qsd <experiment> [flags]
 //
 // Experiments: table1, table2, table3, table4, table5, table6, table7,
-// table8, table9, fig4, fig7, fig8, fig15, fowler, simple-factory,
+// table8, table9, fig4, fig7, fig8, fig15, fowler, shor, simple-factory,
 // zero-factory, pi8-factory, qalypso, all.
+//
+// Every experiment runs as a job batch on the shared experiment engine
+// (internal/engine): -parallel selects the worker count, a progress line on
+// stderr tracks job completion, and all output is rendered from the engine's
+// collected results through one code path (report.Document), so `qsd all -
+// parallel 8` and a sequential run print byte-identical reports.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
+	"strings"
 
 	"speedofdata/internal/circuits"
 	"speedofdata/internal/core"
+	"speedofdata/internal/engine"
 	"speedofdata/internal/factory"
 	"speedofdata/internal/iontrap"
 	"speedofdata/internal/microarch"
@@ -26,13 +36,55 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "qsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// params carries the per-run experiment settings parsed from flags.
+type params struct {
+	trials   int
+	seed     int64
+	buckets  int
+	maxScale int
+	bench    string
+}
+
+// renderer regenerates one experiment as rendered text.
+type renderer func(e core.Experiments, p params) (string, error)
+
+// experimentOrder is the presentation order of `qsd all`.
+var experimentOrder = []string{
+	"table1", "table2", "table3", "table5", "table6", "table7", "table8",
+	"table9", "fig7", "fig8", "fowler",
+}
+
+// renderers maps every experiment id to its renderer.  Aliases share an
+// entry.
+var renderers = map[string]renderer{
+	"table1":         func(core.Experiments, params) (string, error) { return renderTechnology() },
+	"table4":         func(core.Experiments, params) (string, error) { return renderTechnology() },
+	"table2":         func(e core.Experiments, _ params) (string, error) { return renderCharacterization(e, "table2") },
+	"table3":         func(e core.Experiments, _ params) (string, error) { return renderCharacterization(e, "table3") },
+	"table5":         renderTable5,
+	"table7":         renderTable7,
+	"table6":         renderZeroFactory,
+	"zero-factory":   renderZeroFactory,
+	"table8":         renderPi8Factory,
+	"pi8-factory":    renderPi8Factory,
+	"simple-factory": renderSimpleFactory,
+	"table9":         renderTable9,
+	"qalypso":        renderTable9,
+	"fig4":           func(e core.Experiments, p params) (string, error) { return renderFigure4(e, p.trials, p.seed) },
+	"fig7":           func(e core.Experiments, p params) (string, error) { return renderFigure7(e, p.buckets) },
+	"fig8":           func(e core.Experiments, _ params) (string, error) { return renderFigure8(e) },
+	"fig15":          func(e core.Experiments, p params) (string, error) { return renderFigure15(e, p.bench, p.maxScale) },
+	"fowler":         func(e core.Experiments, _ params) (string, error) { return renderFowler(e) },
+	"shor":           func(e core.Experiments, _ params) (string, error) { return renderShor(e) },
+}
+
+func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("qsd", flag.ContinueOnError)
 	bits := fs.Int("bits", 32, "benchmark operand width")
 	trials := fs.Int("trials", 200000, "Monte Carlo trials for fig4")
@@ -40,6 +92,8 @@ func run(args []string) error {
 	buckets := fs.Int("buckets", 20, "time buckets for fig7")
 	maxScale := fs.Int("max-scale", 64, "largest resource scale for fig15")
 	benchName := fs.String("benchmark", "QCLA", "benchmark for fig15 (QRCA, QCLA, QFT)")
+	parallel := fs.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = sequential)")
+	progress := fs.Bool("progress", true, "print a job progress line on stderr")
 	if len(args) == 0 {
 		usage(fs)
 		return fmt.Errorf("missing experiment id")
@@ -48,61 +102,81 @@ func run(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	if *trials <= 0 {
+		return fmt.Errorf("-trials must be positive, got %d", *trials)
+	}
+
+	eng := engine.New(*parallel)
+	if *progress {
+		eng.Progress = progressLine(os.Stderr)
+	}
 	e := core.NewExperiments()
 	e.Bits = *bits
+	e.Engine = eng
+	p := params{trials: *trials, seed: *seed, buckets: *buckets, maxScale: *maxScale, bench: *benchName}
 
-	switch id {
-	case "table1", "table4":
-		return printTechnology()
-	case "table2", "table3":
-		return printCharacterization(e, id)
-	case "table5":
-		fmt.Print(unitTable("Table 5: pipelined zero-factory functional units", e.Table5()))
-		return nil
-	case "table7":
-		fmt.Print(unitTable("Table 7: encoded pi/8 factory stages", e.Table7()))
-		return nil
-	case "table6", "zero-factory":
-		_, zero, _ := e.FactoryDesigns()
-		fmt.Print(designTable("Table 6 / Section 4.4.1: pipelined encoded-zero factory", zero))
-		return nil
-	case "table8", "pi8-factory":
-		_, _, pi8 := e.FactoryDesigns()
-		fmt.Print(designTable("Table 8 / Section 4.4.2: encoded pi/8 factory", pi8))
-		return nil
-	case "simple-factory":
-		simple, _, _ := e.FactoryDesigns()
-		fmt.Printf("Simple encoded-zero factory (Section 4.3)\n")
-		fmt.Printf("  latency    : %s = %v us\n", simple.Latency(), simple.LatencyUs())
-		fmt.Printf("  throughput : %.1f encoded ancillae / ms\n", simple.ThroughputPerMs())
-		fmt.Printf("  area       : %v macroblocks\n", simple.Area())
-		return nil
-	case "table9", "qalypso":
-		return printTable9(e)
-	case "fig4":
-		return printFigure4(e, *trials, *seed)
-	case "fig7":
-		return printFigure7(e, *buckets)
-	case "fig8":
-		return printFigure8(e)
-	case "fig15":
-		return printFigure15(e, *benchName, *maxScale)
-	case "fowler":
-		return printFowler(e)
-	case "shor":
-		return printShor(e)
-	case "all":
-		for _, sub := range []string{"table1", "table2", "table3", "table5", "table6", "table7", "table8", "table9", "fig7", "fig8", "fowler"} {
-			fmt.Printf("=== %s ===\n", sub)
-			if err := run(append([]string{sub}, args[1:]...)); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-		return nil
-	default:
+	ids := []string{id}
+	if id == "all" {
+		ids = experimentOrder
+	} else if _, ok := renderers[id]; !ok {
 		usage(fs)
 		return fmt.Errorf("unknown experiment %q", id)
+	}
+
+	doc, err := renderAll(e, p, ids)
+	if err != nil {
+		return err
+	}
+	clearProgress(os.Stderr, *progress)
+	fmt.Fprint(out, doc.String())
+	return nil
+}
+
+// renderAll regenerates the requested experiments as one engine job batch
+// and collects the rendered sections in presentation order.  Experiments
+// that share work (e.g. the Table 2/3 characterisations feeding Figure 8)
+// hit the engine's result cache through their inner jobs.
+func renderAll(e core.Experiments, p params, ids []string) (report.Document, error) {
+	jobs := make([]engine.Job[string], len(ids))
+	for i, id := range ids {
+		id := id
+		r := renderers[id]
+		jobs[i] = engine.Job[string]{
+			Key: engine.Fingerprint("qsd", id, e.Bits, p),
+			Run: func(context.Context, *rand.Rand) (string, error) {
+				body, err := r(e, p)
+				if err != nil {
+					return "", fmt.Errorf("%s: %w", id, err)
+				}
+				return body, nil
+			},
+		}
+	}
+	bodies, err := engine.Run(context.Background(), e.Engine, jobs)
+	if err != nil {
+		return report.Document{}, err
+	}
+	var doc report.Document
+	for i, id := range ids {
+		doc.Add(id, bodies[i])
+	}
+	return doc, nil
+}
+
+// progressLine returns an engine progress callback that keeps one updating
+// status line on w.
+func progressLine(w *os.File) func(done, total int, key string) {
+	return func(done, total int, key string) {
+		if i := strings.IndexByte(key, '|'); i > 0 {
+			key = key[:i]
+		}
+		fmt.Fprintf(w, "\r[%4d jobs done] %-24.24s", done, key)
+	}
+}
+
+func clearProgress(w *os.File, enabled bool) {
+	if enabled {
+		fmt.Fprintf(w, "\r%-42s\r", "")
 	}
 }
 
@@ -113,7 +187,7 @@ func usage(fs *flag.FlagSet) {
 	fs.PrintDefaults()
 }
 
-func printTechnology() error {
+func renderTechnology() (string, error) {
 	tech := iontrap.Default()
 	tb := report.Table{
 		Title:   "Tables 1 and 4: ion trap physical operation latencies",
@@ -130,14 +204,13 @@ func printTechnology() error {
 	for _, op := range iontrap.Ops() {
 		tb.AddRow(names[op], op.String(), float64(tech.LatencyOf(op)))
 	}
-	fmt.Print(tb.String())
-	return nil
+	return tb.String(), nil
 }
 
-func printCharacterization(e core.Experiments, id string) error {
+func renderCharacterization(e core.Experiments, id string) (string, error) {
 	rows, err := e.Table2And3()
 	if err != nil {
-		return err
+		return "", err
 	}
 	if id == "table2" {
 		tb := report.Table{
@@ -150,8 +223,7 @@ func printCharacterization(e core.Experiments, id string) error {
 			tb.AddRow(r.Name, float64(r.DataOpLatency), pct(d), float64(r.QECInteractLatency), pct(i),
 				float64(r.AncillaPrepLatency), pct(p), float64(r.SpeedOfDataTime), r.Speedup())
 		}
-		fmt.Print(tb.String())
-		return nil
+		return tb.String(), nil
 	}
 	tb := report.Table{
 		Title:   "Table 3: average encoded ancilla bandwidths at the speed of data",
@@ -160,8 +232,35 @@ func printCharacterization(e core.Experiments, id string) error {
 	for _, r := range rows {
 		tb.AddRow(r.Name, r.ZeroBandwidthPerMs, r.Pi8BandwidthPerMs, r.TotalGates, r.Pi8Gates)
 	}
-	fmt.Print(tb.String())
-	return nil
+	return tb.String(), nil
+}
+
+func renderTable5(e core.Experiments, _ params) (string, error) {
+	return unitTable("Table 5: pipelined zero-factory functional units", e.Table5()), nil
+}
+
+func renderTable7(e core.Experiments, _ params) (string, error) {
+	return unitTable("Table 7: encoded pi/8 factory stages", e.Table7()), nil
+}
+
+func renderZeroFactory(e core.Experiments, _ params) (string, error) {
+	_, zero, _ := e.FactoryDesigns()
+	return designTable("Table 6 / Section 4.4.1: pipelined encoded-zero factory", zero), nil
+}
+
+func renderPi8Factory(e core.Experiments, _ params) (string, error) {
+	_, _, pi8 := e.FactoryDesigns()
+	return designTable("Table 8 / Section 4.4.2: encoded pi/8 factory", pi8), nil
+}
+
+func renderSimpleFactory(e core.Experiments, _ params) (string, error) {
+	simple, _, _ := e.FactoryDesigns()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simple encoded-zero factory (Section 4.3)\n")
+	fmt.Fprintf(&b, "  latency    : %s = %v us\n", simple.Latency(), simple.LatencyUs())
+	fmt.Fprintf(&b, "  throughput : %.1f encoded ancillae / ms\n", simple.ThroughputPerMs())
+	fmt.Fprintf(&b, "  area       : %v macroblocks\n", simple.Area())
+	return b.String(), nil
 }
 
 func unitTable(title string, rows []core.Table5Row) string {
@@ -191,10 +290,10 @@ func designTable(title string, d factory.Design) string {
 	return out
 }
 
-func printTable9(e core.Experiments) error {
+func renderTable9(e core.Experiments, _ params) (string, error) {
 	rows, err := e.Table9()
 	if err != nil {
-		return err
+		return "", err
 	}
 	tb := report.Table{
 		Title: "Table 9: area breakdown to generate encoded ancillae at the Table 3 bandwidths",
@@ -206,14 +305,13 @@ func printTable9(e core.Experiments) error {
 		tb.AddRow(r.Name, r.ZeroBandwidthPerMs, float64(r.DataArea), pct(d),
 			float64(r.QECFactoryArea), pct(q), float64(r.Pi8FactoryArea), pct(p), float64(r.TotalArea()))
 	}
-	fmt.Print(tb.String())
-	return nil
+	return tb.String(), nil
 }
 
-func printFigure4(e core.Experiments, trials int, seed int64) error {
+func renderFigure4(e core.Experiments, trials int, seed int64) (string, error) {
 	rows, err := e.Figure4(trials, seed)
 	if err != nil {
-		return err
+		return "", err
 	}
 	tb := report.Table{
 		Title: "Figure 4: encoded-zero preparation error rates (uncorrectable = logical error after ideal decode)",
@@ -224,15 +322,15 @@ func printFigure4(e core.Experiments, trials int, seed int64) error {
 		tb.AddRow(r.Name, r.PaperRate, r.FirstOrder.UncorrectableRate, r.MonteCarlo.UncorrectableRate,
 			r.MonteCarlo.ResidualRate, r.MonteCarlo.RejectRate, r.Ops.Total())
 	}
-	fmt.Print(tb.String())
-	return nil
+	return tb.String(), nil
 }
 
-func printFigure7(e core.Experiments, buckets int) error {
+func renderFigure7(e core.Experiments, buckets int) (string, error) {
 	profiles, err := e.Figure7(buckets)
 	if err != nil {
-		return err
+		return "", err
 	}
+	var b strings.Builder
 	for _, name := range benchmarkOrder(profiles) {
 		s := report.Series{
 			Title:  fmt.Sprintf("Figure 7 (%s): encoded zero ancillae needed per time bucket", name),
@@ -241,17 +339,18 @@ func printFigure7(e core.Experiments, buckets int) error {
 		for _, p := range profiles[name] {
 			s.Add(p.TimeMs, float64(p.ZeroAncillae))
 		}
-		fmt.Print(s.String())
-		fmt.Println()
+		b.WriteString(s.String())
+		b.WriteByte('\n')
 	}
-	return nil
+	return b.String(), nil
 }
 
-func printFigure8(e core.Experiments) error {
+func renderFigure8(e core.Experiments) (string, error) {
 	sweeps, err := e.Figure8()
 	if err != nil {
-		return err
+		return "", err
 	}
+	var b strings.Builder
 	for _, name := range benchmarkOrder(sweeps) {
 		s := report.Series{
 			Title:  fmt.Sprintf("Figure 8 (%s): execution time vs steady zero-ancilla throughput", name),
@@ -260,13 +359,13 @@ func printFigure8(e core.Experiments) error {
 		for _, p := range sweeps[name] {
 			s.Add(p.ThroughputPerMs, p.ExecutionTimeMs)
 		}
-		fmt.Print(s.String())
-		fmt.Println()
+		b.WriteString(s.String())
+		b.WriteByte('\n')
 	}
-	return nil
+	return b.String(), nil
 }
 
-func printFigure15(e core.Experiments, benchName string, maxScale int) error {
+func renderFigure15(e core.Experiments, benchName string, maxScale int) (string, error) {
 	var bench circuits.Benchmark
 	switch benchName {
 	case "QRCA":
@@ -276,11 +375,11 @@ func printFigure15(e core.Experiments, benchName string, maxScale int) error {
 	case "QFT":
 		bench = circuits.QFT
 	default:
-		return fmt.Errorf("unknown benchmark %q", benchName)
+		return "", fmt.Errorf("unknown benchmark %q", benchName)
 	}
 	curves, err := e.Figure15(bench, maxScale)
 	if err != nil {
-		return err
+		return "", err
 	}
 	tb := report.Table{
 		Title:   fmt.Sprintf("Figure 15 (%d-bit %s): execution time vs ancilla factory area", e.Bits, bench),
@@ -291,14 +390,13 @@ func printFigure15(e core.Experiments, benchName string, maxScale int) error {
 			tb.AddRow(arch.String(), p.Scale, p.AreaMacroblocks, p.ExecutionTimeMs)
 		}
 	}
-	fmt.Print(tb.String())
-	return nil
+	return tb.String(), nil
 }
 
-func printFowler(e core.Experiments) error {
+func renderFowler(e core.Experiments) (string, error) {
 	res, err := e.Fowler(10)
 	if err != nil {
-		return err
+		return "", err
 	}
 	tb := report.Table{
 		Title:   "Section 2.5: H/T approximation of pi/2^k rotations",
@@ -307,8 +405,9 @@ func printFowler(e core.Experiments) error {
 	for i, seq := range res.Sequences {
 		tb.AddRow(res.TargetsK[i], seq.Gates, seq.Len(), seq.TCount(), seq.Error)
 	}
-	fmt.Print(tb.String())
-	fmt.Printf("modelled H/T sequence length at 1e-4 precision: %d gates\n\n", res.LengthAt1em4)
+	var b strings.Builder
+	b.WriteString(tb.String())
+	fmt.Fprintf(&b, "modelled H/T sequence length at 1e-4 precision: %d gates\n\n", res.LengthAt1em4)
 	tb2 := report.Table{
 		Title:   "Figure 6: exact recursive pi/2^k cascade",
 		Headers: []string{"k", "Factories", "Worst-case CX", "Expected CX", "Expected X"},
@@ -316,27 +415,26 @@ func printFowler(e core.Experiments) error {
 	for _, c := range res.Cascade {
 		tb2.AddRow(c.K, c.AncillaFactories, c.WorstCaseCX, c.ExpectedCX, c.ExpectedX)
 	}
-	fmt.Print(tb2.String())
-	return nil
+	b.WriteString(tb2.String())
+	return b.String(), nil
 }
 
-func printShor(e core.Experiments) error {
+func renderShor(e core.Experiments) (string, error) {
 	tb := report.Table{
 		Title: fmt.Sprintf("Extension: Shor's algorithm resource estimate (%d-bit modulus, speed-of-data execution)", e.Bits),
 		Headers: []string{"Adder", "Adder calls", "Exec time (s)", "Zero anc/ms", "pi/8 anc/ms",
 			"Zero factories", "pi/8 factories", "Chip (macroblocks)", "Speedup vs no-overlap"},
 	}
-	ripple, lookahead, err := core.CompareShorAdders(e.Bits, e.Options)
+	ripple, lookahead, err := core.CompareShorAddersEngine(context.Background(), e.Engine, e.Bits, e.Options)
 	if err != nil {
-		return err
+		return "", err
 	}
 	for _, est := range []core.ShorEstimate{ripple, lookahead} {
 		tb.AddRow(est.Adder.String(), est.AdderInvocations, est.ExecutionTimeSeconds(),
 			est.ZeroBandwidthPerMs, est.Pi8BandwidthPerMs, est.ZeroFactories, est.Pi8Factories,
 			float64(est.ChipArea), est.Speedup())
 	}
-	fmt.Print(tb.String())
-	return nil
+	return tb.String(), nil
 }
 
 func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

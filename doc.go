@@ -2,22 +2,38 @@
 // Circuit at the Speed of Data" (Isailovic, Whitney, Patel, Kubiatowicz,
 // ISCA 2008).
 //
-// The implementation lives under internal/ and is organised by subsystem:
+// The implementation lives under internal/ and is layered from the quantum IR
+// up to the experiment runners; every arrow points downward:
 //
-//   - internal/iontrap   — ion-trap latency and macroblock abstraction (§4.1)
-//   - internal/quantum   — gate set, circuit IR and dataflow DAG
-//   - internal/steane    — the [[7,1,3]] code and ancilla preparation circuits (§2)
-//   - internal/noise     — Monte Carlo / first-order error evaluation (§2.2-2.3)
-//   - internal/fowler    — H/T rotation synthesis and the π/2^k cascade (§2.5)
-//   - internal/circuits  — QRCA, QCLA and QFT benchmark generators (§3.1)
-//   - internal/schedule  — critical-path characterisation and ancilla demand (§3.2-3.3)
-//   - internal/factory   — simple, pipelined zero and π/8 ancilla factories (§4.3-4.4)
-//   - internal/layout    — data regions, movement model and Qalypso tiles (§4.2, §5.3)
-//   - internal/microarch — QLA/CQLA/GQLA/GCQLA/fully-multiplexed simulation (§5.2)
-//   - internal/core      — the top-level speed-of-data analysis and experiment runners
-//   - internal/report    — plain-text table and series rendering
+//	quantum IR            internal/quantum    — gate set, circuit IR, dataflow DAG
+//	    │
+//	circuit layer         internal/circuits   — QRCA, QCLA, QFT generators (§3.1)
+//	                      internal/steane     — [[7,1,3]] code + ancilla preparation (§2)
+//	                      internal/fowler     — H/T synthesis, π/2^k cascade (§2.5)
+//	                      internal/factory    — simple/pipelined zero and π/8 factories (§4.3-4.4)
+//	    │
+//	technology layer      internal/iontrap    — ion-trap latencies and macroblocks (§4.1)
+//	                      internal/layout     — data regions, movement, Qalypso tiles (§4.2, §5.3)
+//	    │
+//	evaluation layer      internal/microarch  — QLA/CQLA/GQLA/GCQLA/fully-multiplexed sim (§5.2)
+//	                      internal/noise      — Monte Carlo / first-order error evaluation (§2.2-2.3)
+//	                      internal/schedule   — critical paths, demand profiles, sweeps (§3.2-3.3)
+//	    │
+//	experiment engine     internal/engine     — parallel Job/Result runner: worker pool,
+//	    │                                       deterministic per-job RNG streams, result cache
+//	presentation layer    internal/core       — speed-of-data analysis + experiment runners
+//	                      internal/report     — tables, series, and the qsd report document
+//	                      cmd/qsd             — CLI regenerating every table and figure
+//
+// Every sweep, grid, and Monte Carlo evaluation is dispatched through
+// internal/engine: experiments describe their work as batches of jobs keyed
+// by stable input fingerprints, and the engine executes them on a
+// GOMAXPROCS-bounded worker pool with context cancellation and an in-memory
+// result cache.  Per-job RNG streams are seeded from a hash of the job key,
+// so parallel runs are byte-identical to sequential ones — `qsd all
+// -parallel 8` and `-parallel 1` print the same report.
 //
 // The cmd/qsd tool regenerates every table and figure of the paper's
 // evaluation; the benchmarks in bench_test.go wrap the same experiments for
-// `go test -bench`.  See README.md, DESIGN.md and EXPERIMENTS.md.
+// `go test -bench`, including engine speedup benches.  See README.md.
 package speedofdata

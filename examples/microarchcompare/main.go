@@ -4,17 +4,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"speedofdata/internal/circuits"
+	"speedofdata/internal/engine"
 	"speedofdata/internal/microarch"
 	"speedofdata/internal/schedule"
 )
 
 func main() {
 	bits := flag.Int("bits", 16, "benchmark width")
+	parallel := flag.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	c, err := circuits.Generate(circuits.QCLA, *bits)
@@ -31,7 +34,11 @@ func main() {
 	base := microarch.DefaultConfig(microarch.FullyMultiplexed)
 	base.CacheSlots = 16
 	base.Pi8BandwidthPerMs = ch.Pi8BandwidthPerMs
-	curves, err := microarch.Figure15(c, microarch.Figure15Config{Base: base, MaxScale: 64})
+	// The architecture × scale grid fans out across the experiment engine's
+	// workers; the curves are identical to a sequential run.
+	eng := engine.New(*parallel)
+	curves, err := microarch.Figure15Engine(context.Background(), eng, c,
+		microarch.Figure15Config{Base: base, MaxScale: 64})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module speedofdata
+
+go 1.24

@@ -9,10 +9,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
 
 	"speedofdata/internal/circuits"
+	"speedofdata/internal/engine"
 	"speedofdata/internal/factory"
 	"speedofdata/internal/iontrap"
 	"speedofdata/internal/layout"
@@ -145,17 +148,27 @@ func AnalyzeBenchmark(b circuits.Benchmark, bits int, opts Options) (Analysis, e
 }
 
 // AnalyzeAllBenchmarks analyses the paper's three kernels at the given width
-// (32 in the paper).
+// (32 in the paper).  It runs sequentially; AnalyzeAllBenchmarksEngine is
+// the parallel form.
 func AnalyzeAllBenchmarks(bits int, opts Options) ([]Analysis, error) {
-	var out []Analysis
-	for _, b := range circuits.Benchmarks() {
-		a, err := AnalyzeBenchmark(b, bits, opts)
-		if err != nil {
-			return nil, err
+	return AnalyzeAllBenchmarksEngine(context.Background(), nil, bits, opts)
+}
+
+// AnalyzeAllBenchmarksEngine analyses the paper's three kernels through the
+// experiment engine, one job per kernel, in benchmark order.
+func AnalyzeAllBenchmarksEngine(ctx context.Context, eng *engine.Engine, bits int, opts Options) ([]Analysis, error) {
+	benchmarks := circuits.Benchmarks()
+	jobs := make([]engine.Job[Analysis], len(benchmarks))
+	for i, b := range benchmarks {
+		b := b
+		jobs[i] = engine.Job[Analysis]{
+			Key: engine.Fingerprint("core.analyze", b, bits, opts.Tech, opts.Latency, opts.TileQubits),
+			Run: func(context.Context, *rand.Rand) (Analysis, error) {
+				return AnalyzeBenchmark(b, bits, opts)
+			},
 		}
-		out = append(out, a)
 	}
-	return out, nil
+	return engine.Run(ctx, eng, jobs)
 }
 
 // FactoriesForBandwidth returns the whole number of pipelined zero factories

@@ -268,3 +268,81 @@ func TestExperimentsFowler(t *testing.T) {
 		t.Errorf("modelled length at 1e-4 = %d, expected a few dozen", res.LengthAt1em4)
 	}
 }
+
+// Parallel experiment runs must reproduce the sequential results exactly:
+// the engine's per-job RNG streams and order-preserving collection make
+// worker count invisible in the output.
+func TestParallelExperimentsMatchSequential(t *testing.T) {
+	seq := NewExperiments()
+	seq.Bits = 8
+	par := NewParallelExperiments(4)
+	par.Bits = 8
+
+	seqCh, err := seq.Table2And3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCh, err := par.Table2And3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqCh) != len(parCh) {
+		t.Fatalf("characterisation counts differ: %d vs %d", len(seqCh), len(parCh))
+	}
+	for i := range seqCh {
+		if seqCh[i] != parCh[i] {
+			t.Errorf("characterisation %d: parallel %+v != sequential %+v", i, parCh[i], seqCh[i])
+		}
+	}
+
+	seqF4, err := seq.Figure4(5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parF4, err := par.Figure4(5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqF4 {
+		if seqF4[i] != parF4[i] {
+			t.Errorf("figure 4 row %d: parallel %+v != sequential %+v", i, parF4[i], seqF4[i])
+		}
+	}
+
+	seq15, err := seq.Figure15(circuits.QRCA, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par15, err := par.Figure15(circuits.QRCA, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for arch, want := range seq15 {
+		got := par15[arch]
+		if len(got.Points) != len(want.Points) {
+			t.Fatalf("%v: point counts differ", arch)
+		}
+		for i := range want.Points {
+			if got.Points[i] != want.Points[i] {
+				t.Errorf("%v point %d: parallel %+v != sequential %+v", arch, i, got.Points[i], want.Points[i])
+			}
+		}
+	}
+}
+
+// Repeating an experiment on the same runner must be served from the
+// engine's result cache.
+func TestExperimentsCacheAcrossRepeats(t *testing.T) {
+	e := NewParallelExperiments(2)
+	e.Bits = 8
+	if _, err := e.Table2And3(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Table2And3(); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := e.Engine.CacheStats()
+	if hits == 0 {
+		t.Error("repeated experiment should hit the engine cache")
+	}
+}

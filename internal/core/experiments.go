@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"speedofdata/internal/circuits"
+	"speedofdata/internal/engine"
 	"speedofdata/internal/factory"
 	"speedofdata/internal/fowler"
 	"speedofdata/internal/microarch"
 	"speedofdata/internal/noise"
+	"speedofdata/internal/quantum"
 	"speedofdata/internal/schedule"
 	"speedofdata/internal/steane"
 )
@@ -15,31 +19,65 @@ import (
 // Experiments bundles the options shared by every experiment runner.  Each
 // method regenerates one table or figure from the paper's evaluation; the
 // command-line tool and the benchmark harness are thin wrappers around it.
+// All sweeps, grids and Monte Carlo runs are dispatched through the shared
+// experiment engine, so one Experiments value fans its work across Engine's
+// workers while producing output identical to a sequential run.
 type Experiments struct {
 	Options Options
 	// Bits is the benchmark operand width (32 in the paper).
 	Bits int
+	// Engine executes every experiment's job batches.  nil runs
+	// sequentially without caching; use engine.New(n) for an n-worker
+	// engine whose result cache is shared across experiments.
+	Engine *engine.Engine
 }
 
-// NewExperiments returns an experiment runner with the paper's parameters.
+// NewExperiments returns a sequential experiment runner with the paper's
+// parameters.
 func NewExperiments() Experiments {
-	return Experiments{Options: DefaultOptions(), Bits: 32}
+	return Experiments{Options: DefaultOptions(), Bits: 32, Engine: engine.Sequential()}
 }
 
-// Table2And3 characterises the three benchmarks (Tables 2 and 3).
+// NewParallelExperiments returns an experiment runner whose sweeps and Monte
+// Carlo runs fan out over the given number of workers (<= 0 means
+// GOMAXPROCS).  Results are identical to NewExperiments for every
+// experiment.
+func NewParallelExperiments(workers int) Experiments {
+	e := NewExperiments()
+	e.Engine = engine.New(workers)
+	return e
+}
+
+// generateBenchmarks produces the paper's three kernels at the configured
+// width, one engine job per kernel.
+func (e Experiments) generateBenchmarks(ctx context.Context) ([]*quantum.Circuit, error) {
+	jobs := make([]engine.Job[*quantum.Circuit], len(circuits.Benchmarks()))
+	for i, b := range circuits.Benchmarks() {
+		b := b
+		jobs[i] = engine.Job[*quantum.Circuit]{
+			Key: engine.Fingerprint("circuits.generate", b, e.Bits),
+			Run: func(context.Context, *rand.Rand) (*quantum.Circuit, error) {
+				return circuits.Generate(b, e.Bits)
+			},
+		}
+	}
+	return engine.Run(ctx, e.Engine, jobs)
+}
+
+// Table2And3 characterises the three benchmarks (Tables 2 and 3), one engine
+// job per benchmark.
 func (e Experiments) Table2And3() ([]schedule.Characterization, error) {
-	var out []schedule.Characterization
-	for _, b := range circuits.Benchmarks() {
-		c, err := circuits.Generate(b, e.Bits)
-		if err != nil {
-			return nil, err
-		}
-		ch, err := schedule.Characterize(c, e.Options.Latency)
-		if err != nil {
-			return nil, err
-		}
-		ch.Name = fmt.Sprintf("%d-Bit %s", e.Bits, b)
-		out = append(out, ch)
+	ctx := context.Background()
+	cs, err := e.generateBenchmarks(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out, err := schedule.CharacterizeAll(ctx, e.Engine, cs, e.Options.Latency)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range circuits.Benchmarks() {
+		out[i].Name = fmt.Sprintf("%d-Bit %s", e.Bits, b)
 	}
 	return out, nil
 }
@@ -92,7 +130,7 @@ func (e Experiments) FactoryDesigns() (simple factory.SimpleZeroFactory, zero, p
 
 // Table9 returns the per-benchmark chip area breakdown.
 func (e Experiments) Table9() ([]AreaBreakdown, error) {
-	analyses, err := AnalyzeAllBenchmarks(e.Bits, e.Options)
+	analyses, err := AnalyzeAllBenchmarksEngine(context.Background(), e.Engine, e.Bits, e.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +154,9 @@ type PrepErrorResult struct {
 }
 
 // Figure4 evaluates the four encoded-zero preparation circuits under the
-// paper's error model.  trials controls the Monte Carlo effort.
+// paper's error model.  trials controls the Monte Carlo effort.  Each
+// preparation variant is one engine job whose Monte Carlo trials fan out
+// further as chunk jobs on the same engine.
 func (e Experiments) Figure4(trials int, seed int64) ([]PrepErrorResult, error) {
 	code := steane.NewCode()
 	model := noise.DefaultModel()
@@ -128,64 +168,103 @@ func (e Experiments) Figure4(trials int, seed int64) ([]PrepErrorResult, error) 
 	}
 	order := []string{"basic", "verify-only", "correct-only", "verify-and-correct"}
 	protocols := steane.StandardProtocols(code)
-	var out []PrepErrorResult
-	for _, name := range order {
+	ctx := context.Background()
+	jobs := make([]engine.Job[PrepErrorResult], len(order))
+	for i, name := range order {
+		name := name
 		p := protocols[name]
-		sim, err := noise.NewSimulator(code, p, model)
-		if err != nil {
-			return nil, err
+		jobs[i] = engine.Job[PrepErrorResult]{
+			Key: engine.Fingerprint("core.figure4", name, model, trials, seed),
+			Run: func(ctx context.Context, _ *rand.Rand) (PrepErrorResult, error) {
+				sim, err := noise.NewSimulator(code, p, model)
+				if err != nil {
+					return PrepErrorResult{}, err
+				}
+				mc, err := sim.MonteCarloEngine(ctx, e.Engine, trials, seed)
+				if err != nil {
+					return PrepErrorResult{}, err
+				}
+				return PrepErrorResult{
+					Name:       name,
+					PaperRate:  paperRates[name],
+					FirstOrder: sim.FirstOrder(),
+					MonteCarlo: mc,
+					Ops:        p.CountOps(),
+				}, nil
+			},
 		}
-		out = append(out, PrepErrorResult{
-			Name:       name,
-			PaperRate:  paperRates[name],
-			FirstOrder: sim.FirstOrder(),
-			MonteCarlo: sim.MonteCarlo(trials, seed),
-			Ops:        p.CountOps(),
-		})
 	}
-	return out, nil
+	return engine.Run(ctx, e.Engine, jobs)
 }
 
-// Figure7 computes the ancilla demand profiles of the three benchmarks.
+// Figure7 computes the ancilla demand profiles of the three benchmarks, one
+// engine job per benchmark.
 func (e Experiments) Figure7(buckets int) (map[string][]schedule.DemandPoint, error) {
-	out := make(map[string][]schedule.DemandPoint)
-	for _, b := range circuits.Benchmarks() {
-		c, err := circuits.Generate(b, e.Bits)
-		if err != nil {
-			return nil, err
+	ctx := context.Background()
+	benchmarks := circuits.Benchmarks()
+	jobs := make([]engine.Job[[]schedule.DemandPoint], len(benchmarks))
+	for i, b := range benchmarks {
+		b := b
+		jobs[i] = engine.Job[[]schedule.DemandPoint]{
+			Key: engine.Fingerprint("core.figure7", b, e.Bits, e.Options.Latency, buckets),
+			Run: func(context.Context, *rand.Rand) ([]schedule.DemandPoint, error) {
+				c, err := circuits.Generate(b, e.Bits)
+				if err != nil {
+					return nil, err
+				}
+				return schedule.DemandProfile(c, e.Options.Latency, buckets)
+			},
 		}
-		profile, err := schedule.DemandProfile(c, e.Options.Latency, buckets)
-		if err != nil {
-			return nil, err
-		}
-		out[b.String()] = profile
+	}
+	profiles, err := engine.Run(ctx, e.Engine, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]schedule.DemandPoint, len(benchmarks))
+	for i, b := range benchmarks {
+		out[b.String()] = profiles[i]
 	}
 	return out, nil
 }
 
 // Figure8 computes execution time versus steady ancilla throughput for the
-// three benchmarks.
+// three benchmarks.  Each benchmark is one engine job whose per-rate
+// simulations fan out further on the same engine.
 func (e Experiments) Figure8() (map[string][]schedule.SweepPoint, error) {
-	out := make(map[string][]schedule.SweepPoint)
-	for _, b := range circuits.Benchmarks() {
-		c, err := circuits.Generate(b, e.Bits)
-		if err != nil {
-			return nil, err
+	ctx := context.Background()
+	benchmarks := circuits.Benchmarks()
+	jobs := make([]engine.Job[[]schedule.SweepPoint], len(benchmarks))
+	for i, b := range benchmarks {
+		b := b
+		jobs[i] = engine.Job[[]schedule.SweepPoint]{
+			Key: engine.Fingerprint("core.figure8", b, e.Bits, e.Options.Latency),
+			Run: func(ctx context.Context, _ *rand.Rand) ([]schedule.SweepPoint, error) {
+				c, err := circuits.Generate(b, e.Bits)
+				if err != nil {
+					return nil, err
+				}
+				ch, err := schedule.Characterize(c, e.Options.Latency)
+				if err != nil {
+					return nil, err
+				}
+				return schedule.ThroughputSweepEngine(ctx, e.Engine, c, e.Options.Latency,
+					schedule.DefaultSweepRates(ch.ZeroBandwidthPerMs))
+			},
 		}
-		ch, err := schedule.Characterize(c, e.Options.Latency)
-		if err != nil {
-			return nil, err
-		}
-		sweep, err := schedule.ThroughputSweep(c, e.Options.Latency, schedule.DefaultSweepRates(ch.ZeroBandwidthPerMs))
-		if err != nil {
-			return nil, err
-		}
-		out[b.String()] = sweep
+	}
+	sweeps, err := engine.Run(ctx, e.Engine, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]schedule.SweepPoint, len(benchmarks))
+	for i, b := range benchmarks {
+		out[b.String()] = sweeps[i]
 	}
 	return out, nil
 }
 
-// Figure15 runs the microarchitecture comparison for one benchmark.
+// Figure15 runs the microarchitecture comparison for one benchmark, fanning
+// the architecture × scale grid across the engine's workers.
 func (e Experiments) Figure15(b circuits.Benchmark, maxScale int) (map[microarch.Architecture]microarch.Curve, error) {
 	c, err := circuits.Generate(b, e.Bits)
 	if err != nil {
@@ -199,7 +278,8 @@ func (e Experiments) Figure15(b circuits.Benchmark, maxScale int) (map[microarch
 	base.Latency = e.Options.Latency
 	base.CacheSlots = 16
 	base.Pi8BandwidthPerMs = ch.Pi8BandwidthPerMs
-	return microarch.Figure15(c, microarch.Figure15Config{Base: base, MaxScale: maxScale})
+	return microarch.Figure15Engine(context.Background(), e.Engine, c,
+		microarch.Figure15Config{Base: base, MaxScale: maxScale})
 }
 
 // FowlerResult summarises the Section 2.5 rotation-synthesis machinery.
@@ -216,20 +296,40 @@ type FowlerResult struct {
 }
 
 // Fowler runs the rotation-synthesis experiment (Section 2.5, Figure 6).
+// The per-k sequence searches and cascade evaluations fan out as engine
+// jobs (each search builds its own Searcher, so jobs are independent).
 func (e Experiments) Fowler(maxGates int) (FowlerResult, error) {
-	s := fowler.NewSearcher(maxGates)
+	ctx := context.Background()
 	var res FowlerResult
+	var searchJobs []engine.Job[fowler.Sequence]
 	for k := 3; k <= 6; k++ {
-		seq, _ := s.ApproximateRz(k, 1e-9)
-		res.Sequences = append(res.Sequences, seq)
+		k := k
 		res.TargetsK = append(res.TargetsK, k)
+		searchJobs = append(searchJobs, engine.Job[fowler.Sequence]{
+			Key: engine.Fingerprint("fowler.search", k, maxGates),
+			Run: func(context.Context, *rand.Rand) (fowler.Sequence, error) {
+				seq, _ := fowler.NewSearcher(maxGates).ApproximateRz(k, 1e-9)
+				return seq, nil
+			},
+		})
 	}
-	for _, k := range []int{3, 4, 6, 8, 16, 32} {
-		c, err := fowler.Cascade(k)
-		if err != nil {
-			return FowlerResult{}, err
+	cascadeKs := []int{3, 4, 6, 8, 16, 32}
+	cascadeJobs := make([]engine.Job[fowler.CascadeStats], len(cascadeKs))
+	for i, k := range cascadeKs {
+		k := k
+		cascadeJobs[i] = engine.Job[fowler.CascadeStats]{
+			Key: engine.Fingerprint("fowler.cascade", k),
+			Run: func(context.Context, *rand.Rand) (fowler.CascadeStats, error) {
+				return fowler.Cascade(k)
+			},
 		}
-		res.Cascade = append(res.Cascade, c)
+	}
+	var err error
+	if res.Sequences, err = engine.Run(ctx, e.Engine, searchJobs); err != nil {
+		return FowlerResult{}, err
+	}
+	if res.Cascade, err = engine.Run(ctx, e.Engine, cascadeJobs); err != nil {
+		return FowlerResult{}, err
 	}
 	res.LengthAt1em4 = fowler.DefaultLengthModel().Length(1e-4)
 	return res, nil

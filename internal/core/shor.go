@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
 
 	"speedofdata/internal/circuits"
+	"speedofdata/internal/engine"
 	"speedofdata/internal/iontrap"
 )
 
@@ -140,15 +143,28 @@ func EstimateShor(bits int, adder ShorAdder, opts Options) (ShorEstimate, error)
 // exposing the latency/area trade-off the paper's two adder benchmarks stand
 // for.
 func CompareShorAdders(bits int, opts Options) (ripple, lookahead ShorEstimate, err error) {
-	ripple, err = EstimateShor(bits, ShorRippleCarry, opts)
+	return CompareShorAddersEngine(context.Background(), nil, bits, opts)
+}
+
+// CompareShorAddersEngine estimates both adder variants as concurrent engine
+// jobs.
+func CompareShorAddersEngine(ctx context.Context, eng *engine.Engine, bits int, opts Options) (ripple, lookahead ShorEstimate, err error) {
+	adders := []ShorAdder{ShorRippleCarry, ShorCarryLookahead}
+	jobs := make([]engine.Job[ShorEstimate], len(adders))
+	for i, a := range adders {
+		a := a
+		jobs[i] = engine.Job[ShorEstimate]{
+			Key: engine.Fingerprint("core.shor", a, bits, opts.Tech, opts.Latency, opts.TileQubits),
+			Run: func(context.Context, *rand.Rand) (ShorEstimate, error) {
+				return EstimateShor(bits, a, opts)
+			},
+		}
+	}
+	out, err := engine.Run(ctx, eng, jobs)
 	if err != nil {
 		return ShorEstimate{}, ShorEstimate{}, err
 	}
-	lookahead, err = EstimateShor(bits, ShorCarryLookahead, opts)
-	if err != nil {
-		return ShorEstimate{}, ShorEstimate{}, err
-	}
-	return ripple, lookahead, nil
+	return out[0], out[1], nil
 }
 
 // NoOverlapExecutionTime is the execution time of the same workload when

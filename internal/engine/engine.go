@@ -1,0 +1,307 @@
+// Package engine is the shared parallel experiment runner behind every sweep,
+// grid and Monte Carlo evaluation in the reproduction.  An experiment layer
+// (core, microarch, noise, schedule) describes its work as a slice of Jobs —
+// pure functions keyed by a stable fingerprint of their inputs — and Run
+// executes them on a worker pool, returning results in job order.
+//
+// Three properties make the engine safe to drop under existing experiment
+// code:
+//
+//   - Determinism: each job draws randomness only from a *rand.Rand seeded by
+//     a stable hash of (engine seed, job key), so results are byte-identical
+//     whether the batch runs on one worker or many, and identical across
+//     processes and platforms.
+//   - Order preservation: Run returns results indexed exactly like the input
+//     job slice, so callers keep their presentation order for free.
+//   - Memoisation: results are cached in memory by job key; repeating a job
+//     fingerprint (e.g. the same benchmark characterisation feeding two
+//     figures) returns the cached value without recomputation.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Job is one unit of experiment work.
+type Job[R any] struct {
+	// Key is a stable fingerprint of everything the job's result depends on
+	// (use Fingerprint).  It seeds the job's RNG stream and keys the result
+	// cache.  An empty key disables caching for the job and seeds the RNG
+	// from the job's batch index instead.
+	Key string
+	// Run computes the result.  rng is the job's private deterministic
+	// stream; jobs must not use any other randomness source.  Long-running
+	// jobs should poll ctx and return ctx.Err() when cancelled.
+	Run func(ctx context.Context, rng *rand.Rand) (R, error)
+}
+
+// Engine executes job batches on a bounded worker pool with a shared result
+// cache.  The zero value runs with GOMAXPROCS workers and no cache; a nil
+// *Engine runs sequentially with no cache.  Construct with New for a
+// parallel, caching engine.  An Engine is safe for concurrent use, including
+// nested Run calls from inside jobs: the worker bound applies to the whole
+// engine, not per batch, so fanning out chunks from inside a job never
+// multiplies concurrency beyond Workers.
+type Engine struct {
+	// Workers bounds the total number of jobs executing concurrently across
+	// every (possibly nested) Run on this engine; values <= 0 mean
+	// GOMAXPROCS.
+	Workers int
+	// Seed offsets every job's RNG stream.  Engines with equal seeds produce
+	// identical results regardless of worker count.
+	Seed int64
+	// Progress, when set, is called after each job completes with the number
+	// of finished jobs in the current batch, the batch size, and the job's
+	// key.  Calls are serialised and done counts are monotonic per batch.
+	Progress func(done, total int, key string)
+
+	mu     sync.Mutex
+	cache  map[string]any
+	hits   int
+	misses int
+	// extras grants slots for helper goroutines beyond the one goroutine
+	// each Run call already runs jobs on.  Lazily sized to Workers-1.
+	extras chan struct{}
+}
+
+// New returns an engine with the given worker bound and an empty cache.
+func New(workers int) *Engine {
+	return &Engine{Workers: workers, cache: make(map[string]any)}
+}
+
+// Sequential returns a single-worker caching engine: the reference executor
+// that parallel runs must match byte for byte.
+func Sequential() *Engine { return New(1) }
+
+func (e *Engine) workerCount() int {
+	if e == nil {
+		return 1
+	}
+	if e.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.Workers
+}
+
+// CacheStats reports how many jobs were served from the cache and how many
+// were computed.
+func (e *Engine) CacheStats() (hits, misses int) {
+	if e == nil {
+		return 0, 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.misses
+}
+
+func (e *Engine) cacheGet(key string) (any, bool) {
+	if e == nil {
+		return nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cache == nil || key == "" {
+		e.misses++
+		return nil, false
+	}
+	v, ok := e.cache[key]
+	if ok {
+		e.hits++
+	} else {
+		e.misses++
+	}
+	return v, ok
+}
+
+func (e *Engine) cachePut(key string, v any) {
+	if e == nil || key == "" {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cache != nil {
+		e.cache[key] = v
+	}
+}
+
+// SeedFor derives the RNG seed of a job from a base seed and the job key via
+// FNV-1a, the "stable hash of the job key" that makes parallel batches
+// reproduce sequential ones exactly.
+func SeedFor(base int64, key string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|", base)
+	h.Write([]byte(key))
+	return int64(h.Sum64())
+}
+
+// Fingerprint joins the %v renderings of its arguments with '|' into a job
+// key.  Callers must include every input the job's result depends on.
+func Fingerprint(parts ...any) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%v", p)
+	}
+	return b.String()
+}
+
+// Run executes the batch on e's worker pool and returns the results in job
+// order.  A nil engine runs sequentially.  The first job error (or context
+// cancellation) cancels the remaining jobs and is returned; results computed
+// before the failure are discarded.
+//
+// The calling goroutine itself runs jobs, and helper goroutines are added
+// only while the engine-wide worker budget has spare slots.  A nested Run
+// from inside a job therefore executes on the job's own goroutine (plus any
+// spare slots) instead of stacking a fresh pool on top of the outer one.
+func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) ([]R, error) {
+	out := make([]R, len(jobs))
+	if len(jobs) == 0 {
+		return out, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		stateMu  sync.Mutex
+		firstErr error
+		done     int
+		next     int
+	)
+	fail := func(err error) {
+		stateMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		stateMu.Unlock()
+		cancel()
+	}
+	// takeJob hands out job indices in order; finish keeps the progress
+	// callback serialised and its done count monotonic.
+	takeJob := func() (int, bool) {
+		stateMu.Lock()
+		defer stateMu.Unlock()
+		if next >= len(jobs) {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	finish := func(key string) {
+		stateMu.Lock()
+		done++
+		if progress := e.progressFn(); progress != nil {
+			progress(done, len(jobs), key)
+		}
+		stateMu.Unlock()
+	}
+	workerLoop := func() {
+		for ctx.Err() == nil {
+			i, ok := takeJob()
+			if !ok {
+				return
+			}
+			job := jobs[i]
+			if v, ok := e.cacheGet(job.Key); ok {
+				if r, isR := v.(R); isR {
+					out[i] = r
+					finish(job.Key)
+					continue
+				}
+			}
+			seed := SeedFor(e.engineSeed(), job.Key)
+			if job.Key == "" {
+				seed = SeedFor(e.engineSeed(), fmt.Sprintf("#%d", i))
+			}
+			v, err := job.Run(ctx, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				fail(err)
+				return
+			}
+			e.cachePut(job.Key, v)
+			out[i] = v
+			finish(job.Key)
+		}
+	}
+
+	// Spawn helpers only while the engine-wide budget has spare slots; the
+	// caller always participates as one worker.
+	for spawned := 1; spawned < len(jobs); spawned++ {
+		if !e.acquireExtra() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer e.releaseExtra()
+			workerLoop()
+		}()
+	}
+	workerLoop()
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		fail(err)
+	}
+	stateMu.Lock()
+	err := firstErr
+	stateMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// acquireExtra tries to claim one engine-wide helper slot without blocking.
+func (e *Engine) acquireExtra() bool {
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	if e.extras == nil {
+		n := e.workerCount() - 1
+		if n < 0 {
+			n = 0
+		}
+		e.extras = make(chan struct{}, n)
+	}
+	extras := e.extras
+	e.mu.Unlock()
+	select {
+	case extras <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *Engine) releaseExtra() {
+	e.mu.Lock()
+	extras := e.extras
+	e.mu.Unlock()
+	<-extras
+}
+
+func (e *Engine) engineSeed() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.Seed
+}
+
+func (e *Engine) progressFn() func(done, total int, key string) {
+	if e == nil {
+		return nil
+	}
+	return e.Progress
+}

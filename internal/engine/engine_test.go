@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rngJobs builds a batch whose results depend only on each job's RNG stream,
+// so any scheduling nondeterminism would show up as a value change.
+func rngJobs(n int) []Job[float64] {
+	jobs := make([]Job[float64], n)
+	for i := range jobs {
+		jobs[i] = Job[float64]{
+			Key: Fingerprint("rng-job", i),
+			Run: func(_ context.Context, rng *rand.Rand) (float64, error) {
+				sum := 0.0
+				for k := 0; k < 1000; k++ {
+					sum += rng.Float64()
+				}
+				return sum, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	jobs := rngJobs(32)
+	seq, err := Run(context.Background(), Sequential(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), New(8), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("job %d: sequential %v != parallel %v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestNilEngineRunsSequentially(t *testing.T) {
+	jobs := rngJobs(4)
+	got, err := Run(context.Background(), nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(context.Background(), Sequential(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("job %d: nil engine %v != sequential %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestResultsKeepJobOrder(t *testing.T) {
+	jobs := make([]Job[int], 20)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: Fingerprint("order", i),
+			Run: func(context.Context, *rand.Rand) (int, error) { return i * i, nil },
+		}
+	}
+	out, err := Run(context.Background(), New(4), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestCancellationMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	var ran atomic.Int32
+	jobs := make([]Job[int], 64)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Key: Fingerprint("cancel", i),
+			Run: func(ctx context.Context, _ *rand.Rand) (int, error) {
+				ran.Add(1)
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				<-ctx.Done()
+				return 0, ctx.Err()
+			},
+		}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := Run(ctx, New(2), jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run after cancellation = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 64 {
+		t.Fatalf("cancellation mid-sweep still ran all %d jobs", n)
+	}
+}
+
+func TestCacheHitOnRepeatedFingerprint(t *testing.T) {
+	var computed atomic.Int32
+	job := Job[int]{
+		Key: Fingerprint("cache-me", 7),
+		Run: func(context.Context, *rand.Rand) (int, error) {
+			computed.Add(1)
+			return 42, nil
+		},
+	}
+	e := New(4)
+	for round := 0; round < 3; round++ {
+		out, err := Run(context.Background(), e, []Job[int]{job})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != 42 {
+			t.Fatalf("round %d: got %d, want 42", round, out[0])
+		}
+	}
+	if n := computed.Load(); n != 1 {
+		t.Fatalf("job computed %d times, want 1 (cache hits after the first)", n)
+	}
+	hits, misses := e.CacheStats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("cache stats = %d hits / %d misses, want 2 / 1", hits, misses)
+	}
+}
+
+func TestEmptyKeyDisablesCaching(t *testing.T) {
+	var computed atomic.Int32
+	job := Job[int]{
+		Run: func(context.Context, *rand.Rand) (int, error) {
+			computed.Add(1)
+			return 1, nil
+		},
+	}
+	e := New(1)
+	for round := 0; round < 2; round++ {
+		if _, err := Run(context.Background(), e, []Job[int]{job}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := computed.Load(); n != 2 {
+		t.Fatalf("uncached job computed %d times, want 2", n)
+	}
+}
+
+func TestFirstErrorCancelsBatch(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: Fingerprint("err", i),
+			Run: func(ctx context.Context, _ *rand.Rand) (int, error) {
+				if i == 3 {
+					return 0, boom
+				}
+				return i, nil
+			},
+		}
+	}
+	if _, err := Run(context.Background(), New(2), jobs); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want the job error", err)
+	}
+}
+
+func TestSeedForIsStable(t *testing.T) {
+	a := SeedFor(1, "key")
+	if a != SeedFor(1, "key") {
+		t.Fatal("SeedFor must be deterministic")
+	}
+	if a == SeedFor(2, "key") {
+		t.Fatal("SeedFor must depend on the base seed")
+	}
+	if a == SeedFor(1, "other") {
+		t.Fatal("SeedFor must depend on the key")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	got := Fingerprint("mc", 3, 1.5)
+	if got != "mc|3|1.5" {
+		t.Fatalf("Fingerprint = %q", got)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var calls atomic.Int32
+	var lastDone atomic.Int32
+	e := New(3)
+	e.Progress = func(done, total int, key string) {
+		calls.Add(1)
+		lastDone.Store(int32(done))
+		if total != 10 {
+			t.Errorf("total = %d, want 10", total)
+		}
+		if key == "" {
+			t.Error("progress key must not be empty")
+		}
+	}
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Key: Fingerprint("progress", i),
+			Run: func(context.Context, *rand.Rand) (int, error) { return 0, nil },
+		}
+	}
+	if _, err := Run(context.Background(), e, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 10 || lastDone.Load() != 10 {
+		t.Fatalf("progress calls = %d (last done %d), want 10/10", calls.Load(), lastDone.Load())
+	}
+}
+
+func TestRunEmptyBatch(t *testing.T) {
+	out, err := Run[int](context.Background(), New(4), nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := rngJobs(4)
+	if _, err := Run(ctx, New(2), jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Run = %v, want context.Canceled", err)
+	}
+}
+
+// The engine must support nested Run calls from inside jobs (the Monte Carlo
+// path fans out chunks from within a per-protocol job).
+func TestNestedRun(t *testing.T) {
+	e := New(4)
+	outer := make([]Job[int], 4)
+	for i := range outer {
+		i := i
+		outer[i] = Job[int]{
+			Key: Fingerprint("outer", i),
+			Run: func(ctx context.Context, _ *rand.Rand) (int, error) {
+				inner := make([]Job[int], 4)
+				for j := range inner {
+					j := j
+					inner[j] = Job[int]{
+						Key: Fingerprint("inner", i, j),
+						Run: func(context.Context, *rand.Rand) (int, error) { return i*10 + j, nil },
+					}
+				}
+				vals, err := Run(ctx, e, inner)
+				if err != nil {
+					return 0, err
+				}
+				sum := 0
+				for _, v := range vals {
+					sum += v
+				}
+				return sum, nil
+			},
+		}
+	}
+	out, err := Run(context.Background(), e, outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		want := i*40 + 6
+		if v != want {
+			t.Fatalf("outer[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func ExampleFingerprint() {
+	fmt.Println(Fingerprint("noise.mc", "verify-only", 42, 0))
+	// Output: noise.mc|verify-only|42|0
+}
+
+// The worker bound is engine-wide: nested Run calls reuse their caller's
+// slot instead of stacking fresh pools, so total concurrency never exceeds
+// Workers.
+func TestNestedRunRespectsWorkerBudget(t *testing.T) {
+	const workers = 3
+	e := New(workers)
+	var cur, peak atomic.Int32
+	enter := func() {
+		c := cur.Add(1)
+		for {
+			m := peak.Load()
+			if c <= m || peak.CompareAndSwap(m, c) {
+				break
+			}
+		}
+	}
+	leave := func() { cur.Add(-1) }
+	outer := make([]Job[int], 8)
+	for i := range outer {
+		i := i
+		outer[i] = Job[int]{
+			Key: Fingerprint("budget-outer", i),
+			Run: func(ctx context.Context, _ *rand.Rand) (int, error) {
+				inner := make([]Job[int], 8)
+				for j := range inner {
+					j := j
+					inner[j] = Job[int]{
+						Key: Fingerprint("budget-inner", i, j),
+						Run: func(context.Context, *rand.Rand) (int, error) {
+							enter()
+							defer leave()
+							time.Sleep(2 * time.Millisecond)
+							return 0, nil
+						},
+					}
+				}
+				_, err := Run(ctx, e, inner)
+				return 0, err
+			},
+		}
+	}
+	if _, err := Run(context.Background(), e, outer); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeded the engine-wide budget of %d", p, workers)
+	}
+}

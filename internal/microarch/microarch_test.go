@@ -1,11 +1,13 @@
 package microarch
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"speedofdata/internal/circuits"
+	"speedofdata/internal/engine"
 	"speedofdata/internal/quantum"
 	"speedofdata/internal/schedule"
 )
@@ -340,5 +342,55 @@ func TestSimulationBoundsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
+	}
+}
+
+// The parallel grid must regroup into exactly the curves the sequential
+// sweep produces, point for point, and repeated grids must hit the engine's
+// result cache.
+func TestFigure15EngineMatchesSequential(t *testing.T) {
+	c := benchmarkCircuit(t, circuits.QCLA, 8)
+	base := DefaultConfig(FullyMultiplexed)
+	base.CacheSlots = 8
+	cfg := Figure15Config{Base: base, MaxScale: 16}
+	seq, err := Figure15(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(4)
+	par, err := Figure15Engine(context.Background(), eng, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel produced %d curves, sequential %d", len(par), len(seq))
+	}
+	for arch, want := range seq {
+		got := par[arch]
+		if len(got.Points) != len(want.Points) {
+			t.Fatalf("%v: %d points != %d", arch, len(got.Points), len(want.Points))
+		}
+		for i := range want.Points {
+			if got.Points[i] != want.Points[i] {
+				t.Errorf("%v point %d: parallel %+v != sequential %+v", arch, i, got.Points[i], want.Points[i])
+			}
+		}
+	}
+	// Re-running the same grid on the same engine must be served from cache.
+	if _, err := Figure15Engine(context.Background(), eng, c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := eng.CacheStats()
+	if hits == 0 {
+		t.Error("repeated Figure 15 grid should hit the engine cache")
+	}
+}
+
+func TestSweepEngineCancellation(t *testing.T) {
+	c := benchmarkCircuit(t, circuits.QRCA, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepEngine(ctx, engine.New(2), c, DefaultConfig(FullyMultiplexed), DefaultScales(16)); err == nil {
+		t.Error("cancelled sweep must report the context error")
 	}
 }

@@ -1,9 +1,12 @@
 package microarch
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 
+	"speedofdata/internal/engine"
 	"speedofdata/internal/quantum"
 )
 
@@ -28,37 +31,66 @@ type Curve struct {
 // Sweep simulates the circuit at each resource scale for one architecture
 // and returns the resulting curve.  For QLA/GQLA and CQLA/GCQLA the scale is
 // the number of generators per data qubit (or cache slot); for
-// Fully-Multiplexed it is the number of shared pipelined factories.
+// Fully-Multiplexed it is the number of shared pipelined factories.  It runs
+// sequentially; SweepEngine is the parallel form.
 func Sweep(c *quantum.Circuit, base Config, scales []int) (Curve, error) {
+	return SweepEngine(context.Background(), nil, c, base, scales)
+}
+
+// SweepEngine runs one architecture's resource sweep through the experiment
+// engine, simulating each scale as an independent job.
+func SweepEngine(ctx context.Context, eng *engine.Engine, c *quantum.Circuit, base Config, scales []int) (Curve, error) {
 	if len(scales) == 0 {
 		return Curve{}, fmt.Errorf("microarch: no scales to sweep")
 	}
-	curve := Curve{Arch: base.Arch}
-	for _, s := range scales {
-		if s <= 0 {
-			return Curve{}, fmt.Errorf("microarch: non-positive scale %d", s)
-		}
-		cfg := base
-		switch base.Arch {
-		case QLA, GQLA, CQLA, GCQLA:
-			cfg.GeneratorsPerQubit = s
-		case FullyMultiplexed:
-			cfg.SharedFactories = s
-		}
-		res, err := Simulate(c, cfg)
-		if err != nil {
-			return Curve{}, err
-		}
-		curve.Points = append(curve.Points, CurvePoint{
-			AreaMacroblocks: float64(res.AncillaFactoryArea),
-			ExecutionTimeMs: res.ExecutionTimeMs(),
-			Scale:           s,
-		})
+	points, err := engine.Run(ctx, eng, scaleJobs(c, base, scales))
+	if err != nil {
+		return Curve{}, err
 	}
+	curve := Curve{Arch: base.Arch, Points: points}
+	sortCurve(&curve)
+	return curve, nil
+}
+
+// scaleJobs expands one architecture's scale list into engine jobs, each
+// simulating the circuit at one resource scale.
+func scaleJobs(c *quantum.Circuit, base Config, scales []int) []engine.Job[CurvePoint] {
+	fp := c.Fingerprint()
+	jobs := make([]engine.Job[CurvePoint], len(scales))
+	for i, s := range scales {
+		s := s
+		jobs[i] = engine.Job[CurvePoint]{
+			Key: engine.Fingerprint("microarch.simulate", fp, base, s),
+			Run: func(context.Context, *rand.Rand) (CurvePoint, error) {
+				if s <= 0 {
+					return CurvePoint{}, fmt.Errorf("microarch: non-positive scale %d", s)
+				}
+				cfg := base
+				switch base.Arch {
+				case QLA, GQLA, CQLA, GCQLA:
+					cfg.GeneratorsPerQubit = s
+				case FullyMultiplexed:
+					cfg.SharedFactories = s
+				}
+				res, err := Simulate(c, cfg)
+				if err != nil {
+					return CurvePoint{}, err
+				}
+				return CurvePoint{
+					AreaMacroblocks: float64(res.AncillaFactoryArea),
+					ExecutionTimeMs: res.ExecutionTimeMs(),
+					Scale:           s,
+				}, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func sortCurve(curve *Curve) {
 	sort.Slice(curve.Points, func(i, j int) bool {
 		return curve.Points[i].AreaMacroblocks < curve.Points[j].AreaMacroblocks
 	})
-	return curve, nil
 }
 
 // DefaultScales returns the resource sweep used for Figure 15: powers of two
@@ -88,30 +120,53 @@ type Figure15Config struct {
 // Figure15 produces the execution-time/area curves of Figure 15 for one
 // benchmark circuit: QLA and CQLA as proposed (single generator per site),
 // their generalisations GQLA and GCQLA swept over generators per site, and
-// Fully-Multiplexed swept over shared factories.
+// Fully-Multiplexed swept over shared factories.  It runs sequentially;
+// Figure15Engine is the parallel form.
 func Figure15(c *quantum.Circuit, cfg Figure15Config) (map[Architecture]Curve, error) {
+	return Figure15Engine(context.Background(), nil, c, cfg)
+}
+
+// Figure15Engine regenerates Figure 15 through the experiment engine.  The
+// whole architecture × scale grid is flattened into one job batch so every
+// simulation runs concurrently, then the points are regrouped into per-
+// architecture curves; results are identical to the sequential Figure15 for
+// any worker count.
+func Figure15Engine(ctx context.Context, eng *engine.Engine, c *quantum.Circuit, cfg Figure15Config) (map[Architecture]Curve, error) {
 	maxScale := cfg.MaxScale
 	if maxScale <= 0 {
 		maxScale = 64
 	}
 	scales := DefaultScales(maxScale)
-	out := make(map[Architecture]Curve)
+	var jobs []engine.Job[CurvePoint]
+	var jobArch []Architecture
 	for _, arch := range Architectures() {
 		base := cfg.Base
 		base.Arch = arch
-		var archScales []int
-		switch arch {
-		case QLA, CQLA:
+		archScales := scales
+		if arch == QLA || arch == CQLA {
 			// The original proposals fix one serial generator per site; they
 			// appear as single points.
 			archScales = []int{1}
-		default:
-			archScales = scales
 		}
-		curve, err := Sweep(c, base, archScales)
-		if err != nil {
-			return nil, err
+		for _, job := range scaleJobs(c, base, archScales) {
+			jobs = append(jobs, job)
+			jobArch = append(jobArch, arch)
 		}
+	}
+	points, err := engine.Run(ctx, eng, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Architecture]Curve)
+	for i, p := range points {
+		arch := jobArch[i]
+		curve := out[arch]
+		curve.Arch = arch
+		curve.Points = append(curve.Points, p)
+		out[arch] = curve
+	}
+	for arch, curve := range out {
+		sortCurve(&curve)
 		out[arch] = curve
 	}
 	return out, nil

@@ -1,10 +1,12 @@
 package noise
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
 
+	"speedofdata/internal/engine"
 	"speedofdata/internal/steane"
 )
 
@@ -247,6 +249,45 @@ func TestMonteCarloDeterministicForSeed(t *testing.T) {
 	c := s.MonteCarlo(20000, 100)
 	if a == c && a.UncorrectableRate != 0 {
 		t.Log("different seeds gave identical estimates; acceptable but unusual")
+	}
+}
+
+// The engine acceptance criterion: a parallel Monte Carlo run of the same
+// seeded experiment must produce estimates byte-identical to the sequential
+// run, for any worker count.
+func TestMonteCarloParallelMatchesSequential(t *testing.T) {
+	code := steane.NewCode()
+	model := DefaultModel()
+	// 3 full chunks plus a ragged tail exercises the chunk plan.
+	trials := 3*8192 + 1234
+	for name, p := range steane.StandardProtocols(code) {
+		s := mustSimulator(t, p, model)
+		seq, err := s.MonteCarloEngine(context.Background(), engine.Sequential(), trials, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, workers := range []int{2, 7} {
+			par, err := s.MonteCarloEngine(context.Background(), engine.New(workers), trials, 42)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if par != seq {
+				t.Errorf("%s: %d-worker estimate %+v != sequential %+v", name, workers, par, seq)
+			}
+		}
+		if plain := s.MonteCarlo(trials, 42); plain != seq {
+			t.Errorf("%s: MonteCarlo %+v != engine sequential %+v", name, plain, seq)
+		}
+	}
+}
+
+func TestMonteCarloEngineCancellation(t *testing.T) {
+	code := steane.NewCode()
+	s := mustSimulator(t, steane.BasicZeroProtocol(code), DefaultModel())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.MonteCarloEngine(ctx, engine.New(2), 100000, 1); err == nil {
+		t.Error("cancelled Monte Carlo must report the context error")
 	}
 }
 

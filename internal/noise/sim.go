@@ -1,10 +1,13 @@
 package noise
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
+	"speedofdata/internal/engine"
 	"speedofdata/internal/steane"
 )
 
@@ -16,7 +19,10 @@ type injector interface {
 }
 
 // randomInjector samples faults independently per location according to the
-// model, as in the paper's Monte Carlo methodology.
+// model, as in the paper's Monte Carlo methodology.  The *rand.Rand is always
+// injected by the caller (never the global math/rand source) so trials are
+// reproducible and race-free under parallel execution: every Monte Carlo
+// chunk owns a private stream derived from a stable hash of its job key.
 type randomInjector struct {
 	model Model
 	rng   *rand.Rand
@@ -337,34 +343,111 @@ type Estimate struct {
 	StdErr float64
 }
 
-// MonteCarlo estimates error rates with the given number of trials and seed.
-func (s *Simulator) MonteCarlo(trials int, seed int64) Estimate {
-	if trials <= 0 {
-		panic("noise: trials must be positive")
+// mcChunkTrials is the fixed Monte Carlo chunk size.  The chunk plan depends
+// only on the trial count — never on the worker count — which is what makes
+// parallel and sequential runs of the same seed byte-identical.
+const mcChunkTrials = 8192
+
+// mcCounts are the raw outcome tallies of one chunk of trials; chunks merge
+// by addition, which is order-independent.
+type mcCounts struct {
+	Accepted, Rejected, Uncorrectable, Residual int
+}
+
+func (a mcCounts) add(b mcCounts) mcCounts {
+	return mcCounts{
+		Accepted:      a.Accepted + b.Accepted,
+		Rejected:      a.Rejected + b.Rejected,
+		Uncorrectable: a.Uncorrectable + b.Uncorrectable,
+		Residual:      a.Residual + b.Residual,
 	}
-	inj := &randomInjector{model: s.Model, rng: rand.New(rand.NewSource(seed))}
-	accepted, rejectedRuns, uncorrectable, residual := 0, 0, 0, 0
+}
+
+// monteCarloChunk runs `trials` protocol simulations drawing faults from the
+// injected RNG stream and tallies the outcomes.
+func (s *Simulator) monteCarloChunk(rng *rand.Rand, trials int) mcCounts {
+	inj := &randomInjector{model: s.Model, rng: rng}
+	var c mcCounts
 	for i := 0; i < trials; i++ {
 		r := s.runTrial(inj)
 		if r.Rejected {
-			rejectedRuns++
+			c.Rejected++
 			continue
 		}
-		accepted++
+		c.Accepted++
 		if r.Uncorrectable {
-			uncorrectable++
+			c.Uncorrectable++
 		}
 		if r.Residual {
-			residual++
+			c.Residual++
 		}
 	}
-	est := Estimate{Trials: trials, RejectRate: float64(rejectedRuns) / float64(trials)}
-	if accepted > 0 {
-		est.UncorrectableRate = float64(uncorrectable) / float64(accepted)
-		est.ResidualRate = float64(residual) / float64(accepted)
-		est.StdErr = math.Sqrt(est.UncorrectableRate * (1 - est.UncorrectableRate) / float64(accepted))
+	return c
+}
+
+// protocolFingerprint identifies a protocol for cache keys by hashing its
+// full op sequence: protocols that differ anywhere must never share Monte
+// Carlo chunk results or RNG streams, even if name and shape coincide.
+func protocolFingerprint(p *steane.Protocol) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|", p.Name, p.NumQubits)
+	for _, op := range p.Ops {
+		fmt.Fprintf(h, "%d%v%d%v;", int(op.Kind), op.Qubits, op.MeasID, op.MeasIDs)
+	}
+	return fmt.Sprintf("%s/%d/%x", p.Name, len(p.Ops), h.Sum64())
+}
+
+// MonteCarlo estimates error rates with the given number of trials and seed.
+// It is the sequential form of MonteCarloEngine and produces identical
+// estimates for the same seed.
+func (s *Simulator) MonteCarlo(trials int, seed int64) Estimate {
+	est, err := s.MonteCarloEngine(context.Background(), nil, trials, seed)
+	if err != nil {
+		// Chunk jobs cannot fail and the context is never cancelled.
+		panic(fmt.Sprintf("noise: sequential Monte Carlo failed: %v", err))
 	}
 	return est
+}
+
+// MonteCarloEngine estimates error rates by splitting the trials into fixed
+// deterministic chunks and running them as engine jobs.  Each chunk owns an
+// independent RNG stream seeded from a stable hash of (engine seed, chunk
+// key), so two engines with the same seed produce byte-identical estimates
+// regardless of worker count; the merged tallies are order-independent.
+func (s *Simulator) MonteCarloEngine(ctx context.Context, eng *engine.Engine, trials int, seed int64) (Estimate, error) {
+	if trials <= 0 {
+		panic("noise: trials must be positive")
+	}
+	chunks := (trials + mcChunkTrials - 1) / mcChunkTrials
+	fp := protocolFingerprint(s.Protocol)
+	jobs := make([]engine.Job[mcCounts], chunks)
+	for i := 0; i < chunks; i++ {
+		n := mcChunkTrials
+		if i == chunks-1 {
+			n = trials - i*mcChunkTrials
+		}
+		jobs[i] = engine.Job[mcCounts]{
+			Key: engine.Fingerprint("noise.mc", fp, s.Model, seed, i, n),
+			Run: func(_ context.Context, rng *rand.Rand) (mcCounts, error) {
+				return s.monteCarloChunk(rng, n), nil
+			},
+		}
+	}
+	tallies, err := engine.Run(ctx, eng, jobs)
+	if err != nil {
+		return Estimate{}, err
+	}
+	var total mcCounts
+	for _, c := range tallies {
+		total = total.add(c)
+	}
+	est := Estimate{Trials: trials, RejectRate: float64(total.Rejected) / float64(trials)}
+	if total.Accepted > 0 {
+		est.UncorrectableRate = float64(total.Uncorrectable) / float64(total.Accepted)
+		est.ResidualRate = float64(total.Residual) / float64(total.Accepted)
+		est.StdErr = math.Sqrt(est.UncorrectableRate * (1 - est.UncorrectableRate) / float64(total.Accepted))
+	}
+	return est, nil
 }
 
 // FirstOrder computes the leading-order error rates exactly by enumerating

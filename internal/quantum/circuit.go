@@ -2,6 +2,7 @@ package quantum
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 )
 
@@ -64,6 +65,18 @@ func (c *Circuit) AddCPhase(control, target int, anglePi float64) *Circuit {
 
 // Len returns the number of gates in the circuit.
 func (c *Circuit) Len() int { return len(c.Gates) }
+
+// Fingerprint returns a stable structural hash of the circuit (name, qubit
+// count and the full gate sequence), suitable for keying experiment caches:
+// two circuits share a fingerprint exactly when every gate matches.
+func (c *Circuit) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|", c.Name, c.NumQubits, len(c.Gates))
+	for _, g := range c.Gates {
+		fmt.Fprintf(h, "%d%v%g;", int(g.Kind), g.Qubits, g.Angle)
+	}
+	return fmt.Sprintf("%s/%d/%dq/%x", c.Name, len(c.Gates), c.NumQubits, h.Sum64())
+}
 
 // Validate checks every gate references qubits inside the circuit.
 func (c *Circuit) Validate() error {

@@ -149,3 +149,39 @@ func (s Series) String() string {
 	}
 	return b.String()
 }
+
+// Section is one rendered experiment: a stable identifier (the experiment id
+// the qsd tool accepts) plus its rendered text.
+type Section struct {
+	ID   string
+	Body string
+}
+
+// Document collects rendered experiment sections in presentation order.  The
+// qsd tool regenerates every table and figure by running experiments as
+// engine jobs that each produce one Section body, then rendering the
+// collected results through this single code path.
+type Document struct {
+	Sections []Section
+}
+
+// Add appends a section.
+func (d *Document) Add(id, body string) {
+	d.Sections = append(d.Sections, Section{ID: id, Body: body})
+}
+
+// String renders the document.  A single section prints bare; multiple
+// sections are separated by "=== id ===" banners.
+func (d Document) String() string {
+	if len(d.Sections) == 1 {
+		return d.Sections[0].Body
+	}
+	var b strings.Builder
+	for i, s := range d.Sections {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "=== %s ===\n%s", s.ID, s.Body)
+	}
+	return b.String()
+}

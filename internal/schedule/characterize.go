@@ -1,10 +1,13 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
+	"speedofdata/internal/engine"
 	"speedofdata/internal/iontrap"
 	"speedofdata/internal/quantum"
 )
@@ -110,6 +113,23 @@ func Characterize(c *quantum.Circuit, m LatencyModel) (Characterization, error) 
 		out.Pi8BandwidthPerMs = float64(out.Pi8Ancillae) / ms
 	}
 	return out, nil
+}
+
+// CharacterizeAll characterises a set of circuits through the experiment
+// engine, one job per circuit, preserving input order.  Repeated circuits hit
+// the engine's cache instead of recomputing the critical-path analysis.
+func CharacterizeAll(ctx context.Context, eng *engine.Engine, cs []*quantum.Circuit, m LatencyModel) ([]Characterization, error) {
+	jobs := make([]engine.Job[Characterization], len(cs))
+	for i, c := range cs {
+		c := c
+		jobs[i] = engine.Job[Characterization]{
+			Key: engine.Fingerprint("schedule.characterize", c.Fingerprint(), m),
+			Run: func(context.Context, *rand.Rand) (Characterization, error) {
+				return Characterize(c, m)
+			},
+		}
+	}
+	return engine.Run(ctx, eng, jobs)
 }
 
 // backtrackCriticalPath recovers one longest path (as gate indices in
@@ -232,23 +252,38 @@ type SweepPoint struct {
 
 // ThroughputSweep simulates the circuit under a range of steady encoded-zero
 // ancilla production rates and returns the execution time for each
-// (Figure 8).  A rate of +Inf gives the speed-of-data time.
+// (Figure 8).  A rate of +Inf gives the speed-of-data time.  It runs
+// sequentially; ThroughputSweepEngine is the parallel form.
 func ThroughputSweep(c *quantum.Circuit, m LatencyModel, ratesPerMs []float64) ([]SweepPoint, error) {
+	return ThroughputSweepEngine(context.Background(), nil, c, m, ratesPerMs)
+}
+
+// ThroughputSweepEngine runs the Figure 8 sweep through the experiment
+// engine, one job per throughput rate.  Points come back in input-rate order
+// regardless of worker count.
+func ThroughputSweepEngine(ctx context.Context, eng *engine.Engine, c *quantum.Circuit, m LatencyModel, ratesPerMs []float64) ([]SweepPoint, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	out := make([]SweepPoint, 0, len(ratesPerMs))
-	for _, r := range ratesPerMs {
+	fp := c.Fingerprint()
+	jobs := make([]engine.Job[SweepPoint], len(ratesPerMs))
+	for i, r := range ratesPerMs {
 		if r <= 0 {
 			return nil, fmt.Errorf("schedule: throughput must be positive, got %v", r)
 		}
-		t, err := SimulateWithThroughput(c, m, r)
-		if err != nil {
-			return nil, err
+		r := r
+		jobs[i] = engine.Job[SweepPoint]{
+			Key: engine.Fingerprint("schedule.throughput", fp, m, r),
+			Run: func(context.Context, *rand.Rand) (SweepPoint, error) {
+				t, err := SimulateWithThroughput(c, m, r)
+				if err != nil {
+					return SweepPoint{}, err
+				}
+				return SweepPoint{ThroughputPerMs: r, ExecutionTimeMs: t.Milliseconds()}, nil
+			},
 		}
-		out = append(out, SweepPoint{ThroughputPerMs: r, ExecutionTimeMs: t.Milliseconds()})
 	}
-	return out, nil
+	return engine.Run(ctx, eng, jobs)
 }
 
 // SimulateWithThroughput performs a dataflow (list-scheduling) simulation in
