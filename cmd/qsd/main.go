@@ -1,10 +1,11 @@
 // Command qsd ("quantum speed of data") regenerates the tables and figures of
 // "Running a Quantum Circuit at the Speed of Data" (ISCA 2008) from the
-// reproduction library.
+// reproduction library, either as a one-shot batch or as an HTTP service.
 //
 // Usage:
 //
 //	qsd <experiment> [flags]
+//	qsd serve [flags]
 //
 // Experiments: table1, table2, table3, table4, table5, table6, table7,
 // table8, table9, fig4, fig7, fig8, fig15, fowler, shor, simple-factory,
@@ -13,26 +14,33 @@
 // Every experiment runs as a job batch on the shared experiment engine
 // (internal/engine): -parallel selects the worker count, a progress line on
 // stderr tracks job completion, and all output is rendered from the engine's
-// collected results through one code path (report.Document), so `qsd all -
-// parallel 8` and a sequential run print byte-identical reports.
+// collected results through one code path (report.Document), so `qsd all
+// -parallel 8` and a sequential run print byte-identical reports.  -format
+// selects the encoding: text (default, the historical output), json or csv,
+// both carrying full-precision values.
+//
+// `qsd serve` starts the HTTP/JSON API of internal/server on -addr, exposing
+// the same experiments as parameterized /v1/experiments endpoints backed by
+// one shared engine, so repeated and concurrent requests reuse cached and
+// in-flight results.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"math/rand"
+	"net/http"
 	"os"
-	"sort"
 	"strings"
+	"time"
 
-	"speedofdata/internal/circuits"
 	"speedofdata/internal/core"
 	"speedofdata/internal/engine"
-	"speedofdata/internal/factory"
-	"speedofdata/internal/iontrap"
 	"speedofdata/internal/microarch"
+	"speedofdata/internal/noise"
 	"speedofdata/internal/report"
+	"speedofdata/internal/schedule"
+	"speedofdata/internal/server"
 )
 
 func main() {
@@ -42,58 +50,19 @@ func main() {
 	}
 }
 
-// params carries the per-run experiment settings parsed from flags.
-type params struct {
-	trials   int
-	seed     int64
-	buckets  int
-	maxScale int
-	bench    string
-}
-
-// renderer regenerates one experiment as rendered text.
-type renderer func(e core.Experiments, p params) (string, error)
-
-// experimentOrder is the presentation order of `qsd all`.
-var experimentOrder = []string{
-	"table1", "table2", "table3", "table5", "table6", "table7", "table8",
-	"table9", "fig7", "fig8", "fowler",
-}
-
-// renderers maps every experiment id to its renderer.  Aliases share an
-// entry.
-var renderers = map[string]renderer{
-	"table1":         func(core.Experiments, params) (string, error) { return renderTechnology() },
-	"table4":         func(core.Experiments, params) (string, error) { return renderTechnology() },
-	"table2":         func(e core.Experiments, _ params) (string, error) { return renderCharacterization(e, "table2") },
-	"table3":         func(e core.Experiments, _ params) (string, error) { return renderCharacterization(e, "table3") },
-	"table5":         renderTable5,
-	"table7":         renderTable7,
-	"table6":         renderZeroFactory,
-	"zero-factory":   renderZeroFactory,
-	"table8":         renderPi8Factory,
-	"pi8-factory":    renderPi8Factory,
-	"simple-factory": renderSimpleFactory,
-	"table9":         renderTable9,
-	"qalypso":        renderTable9,
-	"fig4":           func(e core.Experiments, p params) (string, error) { return renderFigure4(e, p.trials, p.seed) },
-	"fig7":           func(e core.Experiments, p params) (string, error) { return renderFigure7(e, p.buckets) },
-	"fig8":           func(e core.Experiments, _ params) (string, error) { return renderFigure8(e) },
-	"fig15":          func(e core.Experiments, p params) (string, error) { return renderFigure15(e, p.bench, p.maxScale) },
-	"fowler":         func(e core.Experiments, _ params) (string, error) { return renderFowler(e) },
-	"shor":           func(e core.Experiments, _ params) (string, error) { return renderShor(e) },
-}
-
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("qsd", flag.ContinueOnError)
 	bits := fs.Int("bits", 32, "benchmark operand width")
-	trials := fs.Int("trials", 200000, "Monte Carlo trials for fig4")
+	trials := fs.Int("trials", noise.DefaultTrials, "Monte Carlo trials for fig4")
 	seed := fs.Int64("seed", 1, "Monte Carlo seed for fig4")
-	buckets := fs.Int("buckets", 20, "time buckets for fig7")
-	maxScale := fs.Int("max-scale", 64, "largest resource scale for fig15")
+	buckets := fs.Int("buckets", schedule.DefaultDemandBuckets, "time buckets for fig7")
+	maxScale := fs.Int("max-scale", microarch.DefaultMaxScale, "largest resource scale for fig15")
 	benchName := fs.String("benchmark", "QCLA", "benchmark for fig15 (QRCA, QCLA, QFT)")
+	arch := fs.String("arch", "", "restrict fig15 to one architecture (QLA, GQLA, CQLA, GCQLA, Fully-Multiplexed)")
+	format := fs.String("format", "text", "output format: text, json or csv")
 	parallel := fs.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = sequential)")
 	progress := fs.Bool("progress", true, "print a job progress line on stderr")
+	addr := fs.String("addr", ":8080", "listen address for qsd serve")
 	if len(args) == 0 {
 		usage(fs)
 		return fmt.Errorf("missing experiment id")
@@ -102,65 +71,55 @@ func run(args []string, out *os.File) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	if *trials <= 0 {
-		return fmt.Errorf("-trials must be positive, got %d", *trials)
-	}
 
 	eng := engine.New(*parallel)
-	if *progress {
-		eng.Progress = progressLine(os.Stderr)
-	}
 	e := core.NewExperiments()
 	e.Bits = *bits
 	e.Engine = eng
-	p := params{trials: *trials, seed: *seed, buckets: *buckets, maxScale: *maxScale, bench: *benchName}
+	p := core.RunParams{Trials: *trials, Seed: *seed, Buckets: *buckets,
+		MaxScale: *maxScale, Benchmark: *benchName, Arch: *arch}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	if id == "serve" {
+		// Bound the long-lived server: cap the memoisation cache so distinct
+		// requests can't grow memory forever, and time out header reads so
+		// slow-drip connections can't exhaust the listener.  No WriteTimeout:
+		// /v1/progress streams indefinitely.
+		eng.CacheLimit = 1 << 14
+		srv := &http.Server{
+			Addr:              *addr,
+			Handler:           server.New(e, p),
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		fmt.Fprintf(os.Stderr, "qsd: serving on %s\n", *addr)
+		return srv.ListenAndServe()
+	}
+
+	f, err := report.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	if *progress {
+		eng.Progress = progressLine(os.Stderr)
+	}
 
 	ids := []string{id}
 	if id == "all" {
-		ids = experimentOrder
-	} else if _, ok := renderers[id]; !ok {
+		ids = core.AllExperimentOrder
+	} else if _, ok := core.CanonicalExperimentID(id); !ok {
 		usage(fs)
 		return fmt.Errorf("unknown experiment %q", id)
 	}
 
-	doc, err := renderAll(e, p, ids)
+	doc, err := core.RunReport(context.Background(), e, p, ids)
 	if err != nil {
 		return err
 	}
 	clearProgress(os.Stderr, *progress)
-	fmt.Fprint(out, doc.String())
-	return nil
-}
-
-// renderAll regenerates the requested experiments as one engine job batch
-// and collects the rendered sections in presentation order.  Experiments
-// that share work (e.g. the Table 2/3 characterisations feeding Figure 8)
-// hit the engine's result cache through their inner jobs.
-func renderAll(e core.Experiments, p params, ids []string) (report.Document, error) {
-	jobs := make([]engine.Job[string], len(ids))
-	for i, id := range ids {
-		id := id
-		r := renderers[id]
-		jobs[i] = engine.Job[string]{
-			Key: engine.Fingerprint("qsd", id, e.Bits, p),
-			Run: func(context.Context, *rand.Rand) (string, error) {
-				body, err := r(e, p)
-				if err != nil {
-					return "", fmt.Errorf("%s: %w", id, err)
-				}
-				return body, nil
-			},
-		}
-	}
-	bodies, err := engine.Run(context.Background(), e.Engine, jobs)
-	if err != nil {
-		return report.Document{}, err
-	}
-	var doc report.Document
-	for i, id := range ids {
-		doc.Add(id, bodies[i])
-	}
-	return doc, nil
+	return doc.Encode(out, f)
 }
 
 // progressLine returns an engine progress callback that keeps one updating
@@ -182,268 +141,8 @@ func clearProgress(w *os.File, enabled bool) {
 
 func usage(fs *flag.FlagSet) {
 	fmt.Fprintln(os.Stderr, "usage: qsd <experiment> [flags]")
+	fmt.Fprintln(os.Stderr, "       qsd serve [flags]")
 	fmt.Fprintln(os.Stderr, "experiments: table1..table9, fig4, fig7, fig8, fig15, fowler, shor,")
 	fmt.Fprintln(os.Stderr, "             simple-factory, zero-factory, pi8-factory, qalypso, all")
 	fs.PrintDefaults()
-}
-
-func renderTechnology() (string, error) {
-	tech := iontrap.Default()
-	tb := report.Table{
-		Title:   "Tables 1 and 4: ion trap physical operation latencies",
-		Headers: []string{"Operation", "Symbol", "Latency (us)"},
-	}
-	names := map[iontrap.Op]string{
-		iontrap.OpOneQubitGate: "One-Qubit Gate",
-		iontrap.OpTwoQubitGate: "Two-Qubit Gate",
-		iontrap.OpMeasure:      "Measurement",
-		iontrap.OpZeroPrep:     "Zero Prepare",
-		iontrap.OpStraightMove: "Straight Move",
-		iontrap.OpTurn:         "Turn",
-	}
-	for _, op := range iontrap.Ops() {
-		tb.AddRow(names[op], op.String(), float64(tech.LatencyOf(op)))
-	}
-	return tb.String(), nil
-}
-
-func renderCharacterization(e core.Experiments, id string) (string, error) {
-	rows, err := e.Table2And3()
-	if err != nil {
-		return "", err
-	}
-	if id == "table2" {
-		tb := report.Table{
-			Title: "Table 2: critical-path latency split (no overlap)",
-			Headers: []string{"Circuit", "Data Op (us)", "%", "QEC Interact (us)", "%",
-				"Ancilla Prep (us)", "%", "Speed-of-data (us)", "Speedup"},
-		}
-		for _, r := range rows {
-			d, i, p := r.Fractions()
-			tb.AddRow(r.Name, float64(r.DataOpLatency), pct(d), float64(r.QECInteractLatency), pct(i),
-				float64(r.AncillaPrepLatency), pct(p), float64(r.SpeedOfDataTime), r.Speedup())
-		}
-		return tb.String(), nil
-	}
-	tb := report.Table{
-		Title:   "Table 3: average encoded ancilla bandwidths at the speed of data",
-		Headers: []string{"Circuit", "Zero ancillae/ms (QEC)", "pi/8 ancillae/ms", "Total gates", "pi/8 gates"},
-	}
-	for _, r := range rows {
-		tb.AddRow(r.Name, r.ZeroBandwidthPerMs, r.Pi8BandwidthPerMs, r.TotalGates, r.Pi8Gates)
-	}
-	return tb.String(), nil
-}
-
-func renderTable5(e core.Experiments, _ params) (string, error) {
-	return unitTable("Table 5: pipelined zero-factory functional units", e.Table5()), nil
-}
-
-func renderTable7(e core.Experiments, _ params) (string, error) {
-	return unitTable("Table 7: encoded pi/8 factory stages", e.Table7()), nil
-}
-
-func renderZeroFactory(e core.Experiments, _ params) (string, error) {
-	_, zero, _ := e.FactoryDesigns()
-	return designTable("Table 6 / Section 4.4.1: pipelined encoded-zero factory", zero), nil
-}
-
-func renderPi8Factory(e core.Experiments, _ params) (string, error) {
-	_, _, pi8 := e.FactoryDesigns()
-	return designTable("Table 8 / Section 4.4.2: encoded pi/8 factory", pi8), nil
-}
-
-func renderSimpleFactory(e core.Experiments, _ params) (string, error) {
-	simple, _, _ := e.FactoryDesigns()
-	var b strings.Builder
-	fmt.Fprintf(&b, "Simple encoded-zero factory (Section 4.3)\n")
-	fmt.Fprintf(&b, "  latency    : %s = %v us\n", simple.Latency(), simple.LatencyUs())
-	fmt.Fprintf(&b, "  throughput : %.1f encoded ancillae / ms\n", simple.ThroughputPerMs())
-	fmt.Fprintf(&b, "  area       : %v macroblocks\n", simple.Area())
-	return b.String(), nil
-}
-
-func unitTable(title string, rows []core.Table5Row) string {
-	tb := report.Table{
-		Title:   title,
-		Headers: []string{"Functional Unit", "Symbolic Latency", "Latency (us)", "Stages", "In BW (q/ms)", "Out BW (q/ms)", "Area"},
-	}
-	for _, r := range rows {
-		tb.AddRow(r.Name, r.SymbolicLatency, r.LatencyUs, r.Stages, r.InBWPerMs, r.OutBWPerMs, r.Area)
-	}
-	return tb.String()
-}
-
-func designTable(title string, d factory.Design) string {
-	tb := report.Table{
-		Title:   title,
-		Headers: []string{"Stage", "Unit", "Count", "Total Height", "Total Area"},
-	}
-	for _, s := range d.Stages {
-		for _, a := range s.Allocations {
-			tb.AddRow(s.Name, a.Unit.Name, a.Count, a.TotalHeight(), float64(a.TotalArea()))
-		}
-	}
-	out := tb.String()
-	out += fmt.Sprintf("functional area %v + crossbar area %v = %v macroblocks; throughput %.1f encoded ancillae/ms\n",
-		d.FunctionalArea(), d.CrossbarArea(), d.TotalArea(), d.ThroughputPerMs)
-	return out
-}
-
-func renderTable9(e core.Experiments, _ params) (string, error) {
-	rows, err := e.Table9()
-	if err != nil {
-		return "", err
-	}
-	tb := report.Table{
-		Title: "Table 9: area breakdown to generate encoded ancillae at the Table 3 bandwidths",
-		Headers: []string{"Circuit", "Zero BW (/ms)", "Data Area", "%", "QEC Factories", "%",
-			"pi/8 Factories", "%", "Total"},
-	}
-	for _, r := range rows {
-		d, q, p := r.Fractions()
-		tb.AddRow(r.Name, r.ZeroBandwidthPerMs, float64(r.DataArea), pct(d),
-			float64(r.QECFactoryArea), pct(q), float64(r.Pi8FactoryArea), pct(p), float64(r.TotalArea()))
-	}
-	return tb.String(), nil
-}
-
-func renderFigure4(e core.Experiments, trials int, seed int64) (string, error) {
-	rows, err := e.Figure4(trials, seed)
-	if err != nil {
-		return "", err
-	}
-	tb := report.Table{
-		Title: "Figure 4: encoded-zero preparation error rates (uncorrectable = logical error after ideal decode)",
-		Headers: []string{"Circuit", "Paper rate", "First-order uncorrectable", "MC uncorrectable", "MC residual",
-			"Verify reject", "Physical ops"},
-	}
-	for _, r := range rows {
-		tb.AddRow(r.Name, r.PaperRate, r.FirstOrder.UncorrectableRate, r.MonteCarlo.UncorrectableRate,
-			r.MonteCarlo.ResidualRate, r.MonteCarlo.RejectRate, r.Ops.Total())
-	}
-	return tb.String(), nil
-}
-
-func renderFigure7(e core.Experiments, buckets int) (string, error) {
-	profiles, err := e.Figure7(buckets)
-	if err != nil {
-		return "", err
-	}
-	var b strings.Builder
-	for _, name := range benchmarkOrder(profiles) {
-		s := report.Series{
-			Title:  fmt.Sprintf("Figure 7 (%s): encoded zero ancillae needed per time bucket", name),
-			XLabel: "time (ms)", YLabel: "encoded zero ancillae",
-		}
-		for _, p := range profiles[name] {
-			s.Add(p.TimeMs, float64(p.ZeroAncillae))
-		}
-		b.WriteString(s.String())
-		b.WriteByte('\n')
-	}
-	return b.String(), nil
-}
-
-func renderFigure8(e core.Experiments) (string, error) {
-	sweeps, err := e.Figure8()
-	if err != nil {
-		return "", err
-	}
-	var b strings.Builder
-	for _, name := range benchmarkOrder(sweeps) {
-		s := report.Series{
-			Title:  fmt.Sprintf("Figure 8 (%s): execution time vs steady zero-ancilla throughput", name),
-			XLabel: "ancillae/ms", YLabel: "execution time (ms)",
-		}
-		for _, p := range sweeps[name] {
-			s.Add(p.ThroughputPerMs, p.ExecutionTimeMs)
-		}
-		b.WriteString(s.String())
-		b.WriteByte('\n')
-	}
-	return b.String(), nil
-}
-
-func renderFigure15(e core.Experiments, benchName string, maxScale int) (string, error) {
-	var bench circuits.Benchmark
-	switch benchName {
-	case "QRCA":
-		bench = circuits.QRCA
-	case "QCLA":
-		bench = circuits.QCLA
-	case "QFT":
-		bench = circuits.QFT
-	default:
-		return "", fmt.Errorf("unknown benchmark %q", benchName)
-	}
-	curves, err := e.Figure15(bench, maxScale)
-	if err != nil {
-		return "", err
-	}
-	tb := report.Table{
-		Title:   fmt.Sprintf("Figure 15 (%d-bit %s): execution time vs ancilla factory area", e.Bits, bench),
-		Headers: []string{"Architecture", "Scale", "Factory area (macroblocks)", "Execution time (ms)"},
-	}
-	for _, arch := range microarch.Architectures() {
-		for _, p := range curves[arch].Points {
-			tb.AddRow(arch.String(), p.Scale, p.AreaMacroblocks, p.ExecutionTimeMs)
-		}
-	}
-	return tb.String(), nil
-}
-
-func renderFowler(e core.Experiments) (string, error) {
-	res, err := e.Fowler(10)
-	if err != nil {
-		return "", err
-	}
-	tb := report.Table{
-		Title:   "Section 2.5: H/T approximation of pi/2^k rotations",
-		Headers: []string{"k", "Sequence", "Length", "T count", "Error"},
-	}
-	for i, seq := range res.Sequences {
-		tb.AddRow(res.TargetsK[i], seq.Gates, seq.Len(), seq.TCount(), seq.Error)
-	}
-	var b strings.Builder
-	b.WriteString(tb.String())
-	fmt.Fprintf(&b, "modelled H/T sequence length at 1e-4 precision: %d gates\n\n", res.LengthAt1em4)
-	tb2 := report.Table{
-		Title:   "Figure 6: exact recursive pi/2^k cascade",
-		Headers: []string{"k", "Factories", "Worst-case CX", "Expected CX", "Expected X"},
-	}
-	for _, c := range res.Cascade {
-		tb2.AddRow(c.K, c.AncillaFactories, c.WorstCaseCX, c.ExpectedCX, c.ExpectedX)
-	}
-	b.WriteString(tb2.String())
-	return b.String(), nil
-}
-
-func renderShor(e core.Experiments) (string, error) {
-	tb := report.Table{
-		Title: fmt.Sprintf("Extension: Shor's algorithm resource estimate (%d-bit modulus, speed-of-data execution)", e.Bits),
-		Headers: []string{"Adder", "Adder calls", "Exec time (s)", "Zero anc/ms", "pi/8 anc/ms",
-			"Zero factories", "pi/8 factories", "Chip (macroblocks)", "Speedup vs no-overlap"},
-	}
-	ripple, lookahead, err := core.CompareShorAddersEngine(context.Background(), e.Engine, e.Bits, e.Options)
-	if err != nil {
-		return "", err
-	}
-	for _, est := range []core.ShorEstimate{ripple, lookahead} {
-		tb.AddRow(est.Adder.String(), est.AdderInvocations, est.ExecutionTimeSeconds(),
-			est.ZeroBandwidthPerMs, est.Pi8BandwidthPerMs, est.ZeroFactories, est.Pi8Factories,
-			float64(est.ChipArea), est.Speedup())
-	}
-	return tb.String(), nil
-}
-
-func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
-
-func benchmarkOrder[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

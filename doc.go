@@ -21,9 +21,11 @@
 //	    │
 //	experiment engine     internal/engine     — parallel Job/Result runner: worker pool,
 //	    │                                       deterministic per-job RNG streams, result cache
-//	presentation layer    internal/core       — speed-of-data analysis + experiment runners
-//	                      internal/report     — tables, series, and the qsd report document
-//	                      cmd/qsd             — CLI regenerating every table and figure
+//	presentation layer    internal/core       — speed-of-data analysis + experiment registry
+//	                      internal/report     — typed tables/series + text, JSON and CSV encoders
+//	    │
+//	surfaces              cmd/qsd             — batch CLI and `qsd serve`
+//	                      internal/server     — HTTP/JSON API + SSE progress stream
 //
 // Every sweep, grid, and Monte Carlo evaluation is dispatched through
 // internal/engine: experiments describe their work as batches of jobs keyed
@@ -34,6 +36,11 @@
 // -parallel 8` and `-parallel 1` print the same report.
 //
 // The cmd/qsd tool regenerates every table and figure of the paper's
-// evaluation; the benchmarks in bench_test.go wrap the same experiments for
-// `go test -bench`, including engine speedup benches.  See README.md.
+// evaluation — as plain text, JSON or CSV (-format) — and `qsd serve`
+// exposes the same experiments as parameterized HTTP endpoints on a shared
+// engine, so repeated requests hit the result cache and identical
+// concurrent requests coalesce.  The benchmarks in bench_test.go wrap the
+// same experiments for `go test -bench`, including engine speedup benches.
+// See README.md for the CLI and API reference and ARCHITECTURE.md for the
+// data flow.
 package speedofdata

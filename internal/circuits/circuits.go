@@ -15,6 +15,7 @@ package circuits
 
 import (
 	"fmt"
+	"strings"
 
 	"speedofdata/internal/quantum"
 )
@@ -47,6 +48,17 @@ func (b Benchmark) String() string {
 
 // Benchmarks returns the paper's three kernels in presentation order.
 func Benchmarks() []Benchmark { return []Benchmark{QRCA, QCLA, QFT} }
+
+// ParseBenchmark resolves a flag or request parameter value to a benchmark.
+// Matching is case-insensitive.
+func ParseBenchmark(name string) (Benchmark, error) {
+	for _, b := range Benchmarks() {
+		if strings.EqualFold(name, b.String()) {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("circuits: unknown benchmark %q (want QRCA, QCLA or QFT)", name)
+}
 
 // Generate builds the named benchmark at the given width with default
 // options (Toffolis decomposed, QFT rotations synthesised).

@@ -30,6 +30,20 @@ type Experiments struct {
 	// sequentially without caching; use engine.New(n) for an n-worker
 	// engine whose result cache is shared across experiments.
 	Engine *engine.Engine
+	// Ctx, when non-nil, bounds every experiment method's engine batches:
+	// cancelling it stops in-flight sweeps between jobs.  nil means
+	// context.Background().  The HTTP server sets it to the request context
+	// on its per-request copy, so a disconnected client stops paying for
+	// unread work.
+	Ctx context.Context
+}
+
+// ctx returns the context bounding the experiment runs.
+func (e Experiments) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 // NewExperiments returns a sequential experiment runner with the paper's
@@ -67,7 +81,7 @@ func (e Experiments) generateBenchmarks(ctx context.Context) ([]*quantum.Circuit
 // Table2And3 characterises the three benchmarks (Tables 2 and 3), one engine
 // job per benchmark.
 func (e Experiments) Table2And3() ([]schedule.Characterization, error) {
-	ctx := context.Background()
+	ctx := e.ctx()
 	cs, err := e.generateBenchmarks(ctx)
 	if err != nil {
 		return nil, err
@@ -130,7 +144,7 @@ func (e Experiments) FactoryDesigns() (simple factory.SimpleZeroFactory, zero, p
 
 // Table9 returns the per-benchmark chip area breakdown.
 func (e Experiments) Table9() ([]AreaBreakdown, error) {
-	analyses, err := AnalyzeAllBenchmarksEngine(context.Background(), e.Engine, e.Bits, e.Options)
+	analyses, err := AnalyzeAllBenchmarksEngine(e.ctx(), e.Engine, e.Bits, e.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +182,7 @@ func (e Experiments) Figure4(trials int, seed int64) ([]PrepErrorResult, error) 
 	}
 	order := []string{"basic", "verify-only", "correct-only", "verify-and-correct"}
 	protocols := steane.StandardProtocols(code)
-	ctx := context.Background()
+	ctx := e.ctx()
 	jobs := make([]engine.Job[PrepErrorResult], len(order))
 	for i, name := range order {
 		name := name
@@ -200,7 +214,7 @@ func (e Experiments) Figure4(trials int, seed int64) ([]PrepErrorResult, error) 
 // Figure7 computes the ancilla demand profiles of the three benchmarks, one
 // engine job per benchmark.
 func (e Experiments) Figure7(buckets int) (map[string][]schedule.DemandPoint, error) {
-	ctx := context.Background()
+	ctx := e.ctx()
 	benchmarks := circuits.Benchmarks()
 	jobs := make([]engine.Job[[]schedule.DemandPoint], len(benchmarks))
 	for i, b := range benchmarks {
@@ -231,7 +245,7 @@ func (e Experiments) Figure7(buckets int) (map[string][]schedule.DemandPoint, er
 // three benchmarks.  Each benchmark is one engine job whose per-rate
 // simulations fan out further on the same engine.
 func (e Experiments) Figure8() (map[string][]schedule.SweepPoint, error) {
-	ctx := context.Background()
+	ctx := e.ctx()
 	benchmarks := circuits.Benchmarks()
 	jobs := make([]engine.Job[[]schedule.SweepPoint], len(benchmarks))
 	for i, b := range benchmarks {
@@ -266,6 +280,14 @@ func (e Experiments) Figure8() (map[string][]schedule.SweepPoint, error) {
 // Figure15 runs the microarchitecture comparison for one benchmark, fanning
 // the architecture × scale grid across the engine's workers.
 func (e Experiments) Figure15(b circuits.Benchmark, maxScale int) (map[microarch.Architecture]microarch.Curve, error) {
+	return e.Figure15Archs(b, maxScale, nil)
+}
+
+// Figure15Archs is Figure15 restricted to a subset of architectures (nil =
+// all).  Simulation job keys are architecture-filter independent, so a
+// filtered request (e.g. the HTTP API's ?arch=) shares its grid points with
+// full runs through the engine cache.
+func (e Experiments) Figure15Archs(b circuits.Benchmark, maxScale int, archs []microarch.Architecture) (map[microarch.Architecture]microarch.Curve, error) {
 	c, err := circuits.Generate(b, e.Bits)
 	if err != nil {
 		return nil, err
@@ -278,8 +300,8 @@ func (e Experiments) Figure15(b circuits.Benchmark, maxScale int) (map[microarch
 	base.Latency = e.Options.Latency
 	base.CacheSlots = 16
 	base.Pi8BandwidthPerMs = ch.Pi8BandwidthPerMs
-	return microarch.Figure15Engine(context.Background(), e.Engine, c,
-		microarch.Figure15Config{Base: base, MaxScale: maxScale})
+	return microarch.Figure15Engine(e.ctx(), e.Engine, c,
+		microarch.Figure15Config{Base: base, MaxScale: maxScale, Archs: archs})
 }
 
 // FowlerResult summarises the Section 2.5 rotation-synthesis machinery.
@@ -299,7 +321,7 @@ type FowlerResult struct {
 // The per-k sequence searches and cascade evaluations fan out as engine
 // jobs (each search builds its own Searcher, so jobs are independent).
 func (e Experiments) Fowler(maxGates int) (FowlerResult, error) {
-	ctx := context.Background()
+	ctx := e.ctx()
 	var res FowlerResult
 	var searchJobs []engine.Job[fowler.Sequence]
 	for k := 3; k <= 6; k++ {

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"speedofdata/internal/circuits"
+	"speedofdata/internal/engine"
+	"speedofdata/internal/factory"
+	"speedofdata/internal/iontrap"
+	"speedofdata/internal/microarch"
+	"speedofdata/internal/noise"
+	"speedofdata/internal/report"
+	"speedofdata/internal/schedule"
+)
+
+// RunParams carries the per-request experiment settings shared by the qsd
+// command-line flags and the HTTP API query parameters.  Every field has a
+// stable %v rendering, so a RunParams value participates directly in engine
+// job fingerprints: two requests with equal parameters map to the same job
+// key and the second is served from the engine cache (or coalesced onto the
+// first while it is still running).
+type RunParams struct {
+	// Trials is the Monte Carlo effort for fig4.
+	Trials int
+	// Seed is the Monte Carlo seed for fig4.
+	Seed int64
+	// Buckets is the time-bucket count for fig7.
+	Buckets int
+	// MaxScale is the largest resource scale swept for fig15.
+	MaxScale int
+	// Benchmark selects the fig15 kernel (QRCA, QCLA or QFT).
+	Benchmark string
+	// Arch optionally restricts fig15 to one architecture ("" = all).
+	Arch string
+}
+
+// DefaultRunParams returns the paper's standard settings.
+func DefaultRunParams() RunParams {
+	return RunParams{
+		Trials:    noise.DefaultTrials,
+		Seed:      1,
+		Buckets:   schedule.DefaultDemandBuckets,
+		MaxScale:  microarch.DefaultMaxScale,
+		Benchmark: circuits.QCLA.String(),
+	}
+}
+
+// Validate rejects parameter combinations no experiment can run.
+func (p RunParams) Validate() error {
+	if p.Trials <= 0 {
+		return fmt.Errorf("trials must be positive, got %d", p.Trials)
+	}
+	if p.Buckets <= 0 {
+		return fmt.Errorf("buckets must be positive, got %d", p.Buckets)
+	}
+	if p.MaxScale <= 0 {
+		return fmt.Errorf("max scale must be positive, got %d", p.MaxScale)
+	}
+	if _, err := circuits.ParseBenchmark(p.Benchmark); err != nil {
+		return err
+	}
+	if p.Arch != "" {
+		if _, err := microarch.ParseArchitecture(p.Arch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExperimentInfo describes one registered experiment for listings (the qsd
+// usage text and the HTTP API index).
+type ExperimentInfo struct {
+	// ID is the canonical experiment id.
+	ID string
+	// Title is the human-readable name (the paper table/figure it renders).
+	Title string
+	// Aliases are alternate ids accepted for the same experiment.
+	Aliases []string
+	// Params names the RunParams fields the experiment honours, as their
+	// flag/query spellings.
+	Params []string
+}
+
+// renderFunc regenerates one experiment as a structured report section.
+type renderFunc func(e Experiments, p RunParams) (report.Section, error)
+
+// experiment is one registry entry.
+type experiment struct {
+	info   ExperimentInfo
+	render renderFunc
+}
+
+// registry maps every canonical experiment id to its entry; aliases are
+// resolved by CanonicalExperimentID.
+var registry = map[string]experiment{
+	"table1": {
+		info:   ExperimentInfo{ID: "table1", Title: "Tables 1 and 4: ion trap physical operation latencies", Aliases: []string{"table4"}},
+		render: func(Experiments, RunParams) (report.Section, error) { return renderTechnology() },
+	},
+	"table2": {
+		info:   ExperimentInfo{ID: "table2", Title: "Table 2: critical-path latency split", Params: []string{"bits"}},
+		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderCharacterization(e, "table2") },
+	},
+	"table3": {
+		info:   ExperimentInfo{ID: "table3", Title: "Table 3: encoded ancilla bandwidths at the speed of data", Params: []string{"bits"}},
+		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderCharacterization(e, "table3") },
+	},
+	"table5": {
+		info:   ExperimentInfo{ID: "table5", Title: "Table 5: pipelined zero-factory functional units"},
+		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderTable5(e) },
+	},
+	"table6": {
+		info:   ExperimentInfo{ID: "table6", Title: "Table 6: pipelined encoded-zero factory", Aliases: []string{"zero-factory"}},
+		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderZeroFactory(e) },
+	},
+	"table7": {
+		info:   ExperimentInfo{ID: "table7", Title: "Table 7: encoded pi/8 factory stages"},
+		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderTable7(e) },
+	},
+	"table8": {
+		info:   ExperimentInfo{ID: "table8", Title: "Table 8: encoded pi/8 factory", Aliases: []string{"pi8-factory"}},
+		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderPi8Factory(e) },
+	},
+	"table9": {
+		info:   ExperimentInfo{ID: "table9", Title: "Table 9: chip area breakdown (Qalypso)", Aliases: []string{"qalypso"}, Params: []string{"bits"}},
+		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderTable9(e) },
+	},
+	"simple-factory": {
+		info:   ExperimentInfo{ID: "simple-factory", Title: "Section 4.3: simple encoded-zero factory"},
+		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderSimpleFactory(e) },
+	},
+	"fig4": {
+		info:   ExperimentInfo{ID: "fig4", Title: "Figure 4: encoded-zero preparation error rates", Aliases: []string{"figure4"}, Params: []string{"trials", "seed"}},
+		render: func(e Experiments, p RunParams) (report.Section, error) { return renderFigure4(e, p.Trials, p.Seed) },
+	},
+	"fig7": {
+		info:   ExperimentInfo{ID: "fig7", Title: "Figure 7: ancilla demand profiles", Aliases: []string{"figure7"}, Params: []string{"bits", "buckets"}},
+		render: func(e Experiments, p RunParams) (report.Section, error) { return renderFigure7(e, p.Buckets) },
+	},
+	"fig8": {
+		info:   ExperimentInfo{ID: "fig8", Title: "Figure 8: execution time vs ancilla throughput", Aliases: []string{"figure8"}, Params: []string{"bits"}},
+		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderFigure8(e) },
+	},
+	"fig15": {
+		info: ExperimentInfo{ID: "fig15", Title: "Figure 15: execution time vs ancilla factory area", Aliases: []string{"figure15"}, Params: []string{"bits", "benchmark", "max-scale", "arch"}},
+		render: func(e Experiments, p RunParams) (report.Section, error) {
+			return renderFigure15(e, p.Benchmark, p.MaxScale, p.Arch)
+		},
+	},
+	"fowler": {
+		info:   ExperimentInfo{ID: "fowler", Title: "Section 2.5 / Figure 6: H/T rotation synthesis"},
+		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderFowler(e) },
+	},
+	"shor": {
+		info:   ExperimentInfo{ID: "shor", Title: "Extension: Shor's algorithm resource estimate", Params: []string{"bits"}},
+		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderShor(e) },
+	},
+}
+
+// AllExperimentOrder is the presentation order of `qsd all` and of the
+// aggregate HTTP report.  The Monte Carlo and grid-heavy experiments (fig4,
+// fig15) are excluded to keep the aggregate run fast; they remain
+// individually addressable.
+var AllExperimentOrder = []string{
+	"table1", "table2", "table3", "table5", "table6", "table7", "table8",
+	"table9", "fig7", "fig8", "fowler",
+}
+
+// ExperimentIDs returns every canonical experiment id, sorted.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ExperimentInfos returns the registry metadata sorted by id.
+func ExperimentInfos() []ExperimentInfo {
+	infos := make([]ExperimentInfo, 0, len(registry))
+	for _, id := range ExperimentIDs() {
+		infos = append(infos, registry[id].info)
+	}
+	return infos
+}
+
+// CanonicalExperimentID resolves an id or alias (case-insensitive) to the
+// canonical experiment id, reporting whether it is known.  "all" is not an
+// experiment; callers expand it with AllExperimentOrder.
+func CanonicalExperimentID(id string) (string, bool) {
+	id = strings.ToLower(id)
+	if _, ok := registry[id]; ok {
+		return id, true
+	}
+	for canon, exp := range registry {
+		for _, a := range exp.info.Aliases {
+			if id == a {
+				return canon, true
+			}
+		}
+	}
+	return "", false
+}
+
+// RunExperiment regenerates one experiment (by id or alias) as a structured
+// section, dispatching its inner sweeps through e.Engine.
+func RunExperiment(e Experiments, id string, p RunParams) (report.Section, error) {
+	canon, ok := CanonicalExperimentID(id)
+	if !ok {
+		return report.Section{}, fmt.Errorf("unknown experiment %q", id)
+	}
+	sec, err := registry[canon].render(e, p)
+	if err != nil {
+		return report.Section{}, fmt.Errorf("%s: %w", id, err)
+	}
+	sec.ID = id
+	return sec, nil
+}
+
+// RunReport regenerates the requested experiments as one engine job batch
+// and collects the sections in request order.  Experiments that share work
+// (e.g. the Table 2/3 characterisations feeding Figure 8) hit the engine's
+// result cache through their inner jobs, and identical concurrent requests
+// coalesce onto one in-flight computation.
+func RunReport(ctx context.Context, e Experiments, p RunParams, ids []string) (report.Document, error) {
+	jobs := make([]engine.Job[report.Section], len(ids))
+	for i, id := range ids {
+		id := id
+		if _, ok := CanonicalExperimentID(id); !ok {
+			return report.Document{}, fmt.Errorf("unknown experiment %q", id)
+		}
+		jobs[i] = engine.Job[report.Section]{
+			Key: engine.Fingerprint("qsd", id, e.Bits, p),
+			Run: func(ctx context.Context, _ *rand.Rand) (report.Section, error) {
+				// Bound the experiment's nested batches by the batch context
+				// so cancelling the request stops the inner sweeps too.
+				e := e
+				e.Ctx = ctx
+				return RunExperiment(e, id, p)
+			},
+		}
+	}
+	sections, err := engine.Run(ctx, e.Engine, jobs)
+	if err != nil {
+		return report.Document{}, err
+	}
+	var doc report.Document
+	for _, sec := range sections {
+		doc.AddSection(sec)
+	}
+	return doc, nil
+}
+
+func renderTechnology() (report.Section, error) {
+	tech := iontrap.Default()
+	tb := report.Table{
+		Title:   "Tables 1 and 4: ion trap physical operation latencies",
+		Headers: []string{"Operation", "Symbol", "Latency (us)"},
+	}
+	names := map[iontrap.Op]string{
+		iontrap.OpOneQubitGate: "One-Qubit Gate",
+		iontrap.OpTwoQubitGate: "Two-Qubit Gate",
+		iontrap.OpMeasure:      "Measurement",
+		iontrap.OpZeroPrep:     "Zero Prepare",
+		iontrap.OpStraightMove: "Straight Move",
+		iontrap.OpTurn:         "Turn",
+	}
+	for _, op := range iontrap.Ops() {
+		tb.AddRow(names[op], op.String(), float64(tech.LatencyOf(op)))
+	}
+	return report.NewSection("", tb), nil
+}
+
+func renderCharacterization(e Experiments, id string) (report.Section, error) {
+	rows, err := e.Table2And3()
+	if err != nil {
+		return report.Section{}, err
+	}
+	if id == "table2" {
+		tb := report.Table{
+			Title: "Table 2: critical-path latency split (no overlap)",
+			Headers: []string{"Circuit", "Data Op (us)", "%", "QEC Interact (us)", "%",
+				"Ancilla Prep (us)", "%", "Speed-of-data (us)", "Speedup"},
+		}
+		for _, r := range rows {
+			d, i, p := r.Fractions()
+			tb.AddRow(r.Name, float64(r.DataOpLatency), pct(d), float64(r.QECInteractLatency), pct(i),
+				float64(r.AncillaPrepLatency), pct(p), float64(r.SpeedOfDataTime), r.Speedup())
+		}
+		return report.NewSection("", tb), nil
+	}
+	tb := report.Table{
+		Title:   "Table 3: average encoded ancilla bandwidths at the speed of data",
+		Headers: []string{"Circuit", "Zero ancillae/ms (QEC)", "pi/8 ancillae/ms", "Total gates", "pi/8 gates"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.Name, r.ZeroBandwidthPerMs, r.Pi8BandwidthPerMs, r.TotalGates, r.Pi8Gates)
+	}
+	return report.NewSection("", tb), nil
+}
+
+func renderTable5(e Experiments) (report.Section, error) {
+	return report.NewSection("", unitTable("Table 5: pipelined zero-factory functional units", e.Table5())), nil
+}
+
+func renderTable7(e Experiments) (report.Section, error) {
+	return report.NewSection("", unitTable("Table 7: encoded pi/8 factory stages", e.Table7())), nil
+}
+
+func renderZeroFactory(e Experiments) (report.Section, error) {
+	_, zero, _ := e.FactoryDesigns()
+	return designSection("Table 6 / Section 4.4.1: pipelined encoded-zero factory", zero), nil
+}
+
+func renderPi8Factory(e Experiments) (report.Section, error) {
+	_, _, pi8 := e.FactoryDesigns()
+	return designSection("Table 8 / Section 4.4.2: encoded pi/8 factory", pi8), nil
+}
+
+func renderSimpleFactory(e Experiments) (report.Section, error) {
+	simple, _, _ := e.FactoryDesigns()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simple encoded-zero factory (Section 4.3)\n")
+	fmt.Fprintf(&b, "  latency    : %s = %v us\n", simple.Latency(), simple.LatencyUs())
+	fmt.Fprintf(&b, "  throughput : %.1f encoded ancillae / ms\n", simple.ThroughputPerMs())
+	fmt.Fprintf(&b, "  area       : %v macroblocks\n", simple.Area())
+	return report.NewSection("", report.Text(b.String())), nil
+}
+
+func unitTable(title string, rows []Table5Row) report.Table {
+	tb := report.Table{
+		Title:   title,
+		Headers: []string{"Functional Unit", "Symbolic Latency", "Latency (us)", "Stages", "In BW (q/ms)", "Out BW (q/ms)", "Area"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.Name, r.SymbolicLatency, r.LatencyUs, r.Stages, r.InBWPerMs, r.OutBWPerMs, r.Area)
+	}
+	return tb
+}
+
+func designSection(title string, d factory.Design) report.Section {
+	tb := report.Table{
+		Title:   title,
+		Headers: []string{"Stage", "Unit", "Count", "Total Height", "Total Area"},
+	}
+	for _, s := range d.Stages {
+		for _, a := range s.Allocations {
+			tb.AddRow(s.Name, a.Unit.Name, a.Count, a.TotalHeight(), float64(a.TotalArea()))
+		}
+	}
+	foot := fmt.Sprintf("functional area %v + crossbar area %v = %v macroblocks; throughput %.1f encoded ancillae/ms\n",
+		d.FunctionalArea(), d.CrossbarArea(), d.TotalArea(), d.ThroughputPerMs)
+	return report.NewSection("", tb, report.Text(foot))
+}
+
+func renderTable9(e Experiments) (report.Section, error) {
+	rows, err := e.Table9()
+	if err != nil {
+		return report.Section{}, err
+	}
+	tb := report.Table{
+		Title: "Table 9: area breakdown to generate encoded ancillae at the Table 3 bandwidths",
+		Headers: []string{"Circuit", "Zero BW (/ms)", "Data Area", "%", "QEC Factories", "%",
+			"pi/8 Factories", "%", "Total"},
+	}
+	for _, r := range rows {
+		d, q, p := r.Fractions()
+		tb.AddRow(r.Name, r.ZeroBandwidthPerMs, float64(r.DataArea), pct(d),
+			float64(r.QECFactoryArea), pct(q), float64(r.Pi8FactoryArea), pct(p), float64(r.TotalArea()))
+	}
+	return report.NewSection("", tb), nil
+}
+
+func renderFigure4(e Experiments, trials int, seed int64) (report.Section, error) {
+	rows, err := e.Figure4(trials, seed)
+	if err != nil {
+		return report.Section{}, err
+	}
+	tb := report.Table{
+		Title: "Figure 4: encoded-zero preparation error rates (uncorrectable = logical error after ideal decode)",
+		Headers: []string{"Circuit", "Paper rate", "First-order uncorrectable", "MC uncorrectable", "MC residual",
+			"Verify reject", "Physical ops"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.Name, r.PaperRate, r.FirstOrder.UncorrectableRate, r.MonteCarlo.UncorrectableRate,
+			r.MonteCarlo.ResidualRate, r.MonteCarlo.RejectRate, r.Ops.Total())
+	}
+	return report.NewSection("", tb), nil
+}
+
+func renderFigure7(e Experiments, buckets int) (report.Section, error) {
+	profiles, err := e.Figure7(buckets)
+	if err != nil {
+		return report.Section{}, err
+	}
+	var blocks []report.Block
+	for _, name := range sortedKeys(profiles) {
+		s := report.Series{
+			Title:  fmt.Sprintf("Figure 7 (%s): encoded zero ancillae needed per time bucket", name),
+			XLabel: "time (ms)", YLabel: "encoded zero ancillae",
+		}
+		for _, p := range profiles[name] {
+			s.Add(p.TimeMs, float64(p.ZeroAncillae))
+		}
+		blocks = append(blocks, s, report.Text("\n"))
+	}
+	return report.Section{Blocks: blocks}, nil
+}
+
+func renderFigure8(e Experiments) (report.Section, error) {
+	sweeps, err := e.Figure8()
+	if err != nil {
+		return report.Section{}, err
+	}
+	var blocks []report.Block
+	for _, name := range sortedKeys(sweeps) {
+		s := report.Series{
+			Title:  fmt.Sprintf("Figure 8 (%s): execution time vs steady zero-ancilla throughput", name),
+			XLabel: "ancillae/ms", YLabel: "execution time (ms)",
+		}
+		for _, p := range sweeps[name] {
+			s.Add(p.ThroughputPerMs, p.ExecutionTimeMs)
+		}
+		blocks = append(blocks, s, report.Text("\n"))
+	}
+	return report.Section{Blocks: blocks}, nil
+}
+
+func renderFigure15(e Experiments, benchName string, maxScale int, archName string) (report.Section, error) {
+	bench, err := circuits.ParseBenchmark(benchName)
+	if err != nil {
+		return report.Section{}, err
+	}
+	archs := microarch.Architectures()
+	if archName != "" {
+		arch, err := microarch.ParseArchitecture(archName)
+		if err != nil {
+			return report.Section{}, err
+		}
+		archs = []microarch.Architecture{arch}
+	}
+	curves, err := e.Figure15Archs(bench, maxScale, archs)
+	if err != nil {
+		return report.Section{}, err
+	}
+	tb := report.Table{
+		Title:   fmt.Sprintf("Figure 15 (%d-bit %s): execution time vs ancilla factory area", e.Bits, bench),
+		Headers: []string{"Architecture", "Scale", "Factory area (macroblocks)", "Execution time (ms)"},
+	}
+	for _, arch := range archs {
+		for _, p := range curves[arch].Points {
+			tb.AddRow(arch.String(), p.Scale, p.AreaMacroblocks, p.ExecutionTimeMs)
+		}
+	}
+	return report.NewSection("", tb), nil
+}
+
+func renderFowler(e Experiments) (report.Section, error) {
+	res, err := e.Fowler(10)
+	if err != nil {
+		return report.Section{}, err
+	}
+	tb := report.Table{
+		Title:   "Section 2.5: H/T approximation of pi/2^k rotations",
+		Headers: []string{"k", "Sequence", "Length", "T count", "Error"},
+	}
+	for i, seq := range res.Sequences {
+		tb.AddRow(res.TargetsK[i], seq.Gates, seq.Len(), seq.TCount(), seq.Error)
+	}
+	note := report.Text(fmt.Sprintf("modelled H/T sequence length at 1e-4 precision: %d gates\n\n", res.LengthAt1em4))
+	tb2 := report.Table{
+		Title:   "Figure 6: exact recursive pi/2^k cascade",
+		Headers: []string{"k", "Factories", "Worst-case CX", "Expected CX", "Expected X"},
+	}
+	for _, c := range res.Cascade {
+		tb2.AddRow(c.K, c.AncillaFactories, c.WorstCaseCX, c.ExpectedCX, c.ExpectedX)
+	}
+	return report.NewSection("", tb, note, tb2), nil
+}
+
+func renderShor(e Experiments) (report.Section, error) {
+	tb := report.Table{
+		Title: fmt.Sprintf("Extension: Shor's algorithm resource estimate (%d-bit modulus, speed-of-data execution)", e.Bits),
+		Headers: []string{"Adder", "Adder calls", "Exec time (s)", "Zero anc/ms", "pi/8 anc/ms",
+			"Zero factories", "pi/8 factories", "Chip (macroblocks)", "Speedup vs no-overlap"},
+	}
+	ripple, lookahead, err := CompareShorAddersEngine(e.ctx(), e.Engine, e.Bits, e.Options)
+	if err != nil {
+		return report.Section{}, err
+	}
+	for _, est := range []ShorEstimate{ripple, lookahead} {
+		tb.AddRow(est.Adder.String(), est.AdderInvocations, est.ExecutionTimeSeconds(),
+			est.ZeroBandwidthPerMs, est.Pi8BandwidthPerMs, est.ZeroFactories, est.Pi8Factories,
+			float64(est.ChipArea), est.Speedup())
+	}
+	return report.NewSection("", tb), nil
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"speedofdata/internal/engine"
+)
+
+func TestCanonicalExperimentID(t *testing.T) {
+	cases := map[string]string{
+		"table2":       "table2",
+		"TABLE2":       "table2",
+		"figure15":     "fig15",
+		"fig15":        "fig15",
+		"qalypso":      "table9",
+		"zero-factory": "table6",
+		"table4":       "table1",
+	}
+	for in, want := range cases {
+		got, ok := CanonicalExperimentID(in)
+		if !ok || got != want {
+			t.Errorf("CanonicalExperimentID(%q) = %q, %v; want %q", in, got, ok, want)
+		}
+	}
+	if _, ok := CanonicalExperimentID("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+	if _, ok := CanonicalExperimentID("all"); ok {
+		t.Error(`"all" is not an experiment id`)
+	}
+}
+
+func TestRegistryCoversAllOrder(t *testing.T) {
+	for _, id := range AllExperimentOrder {
+		if _, ok := CanonicalExperimentID(id); !ok {
+			t.Errorf("AllExperimentOrder id %q is not registered", id)
+		}
+	}
+	infos := ExperimentInfos()
+	if len(infos) != len(ExperimentIDs()) {
+		t.Fatal("infos and ids disagree")
+	}
+	for _, info := range infos {
+		if info.Title == "" {
+			t.Errorf("experiment %q has no title", info.ID)
+		}
+	}
+}
+
+func TestRunParamsValidate(t *testing.T) {
+	p := DefaultRunParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := p
+	bad.Trials = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero trials should fail")
+	}
+	bad = p
+	bad.Benchmark = "QXYZ"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	bad = p
+	bad.Arch = "warp"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown arch should fail")
+	}
+	p.Arch = "cqla"
+	if err := p.Validate(); err != nil {
+		t.Errorf("compact arch spelling rejected: %v", err)
+	}
+}
+
+// TestRunExperimentSections runs the cheap experiments end to end and checks
+// the structured sections carry their ids and render non-empty text.
+func TestRunExperimentSections(t *testing.T) {
+	e := NewExperiments()
+	p := DefaultRunParams()
+	for _, id := range []string{"table1", "table5", "table6", "table7", "table8", "simple-factory"} {
+		sec, err := RunExperiment(e, id, p)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if sec.ID != id {
+			t.Errorf("%s: section id = %q", id, sec.ID)
+		}
+		if len(sec.Blocks) == 0 || sec.Text() == "" {
+			t.Errorf("%s: empty section", id)
+		}
+	}
+	if _, err := RunExperiment(e, "nope", p); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+// TestRunReportDeterministic renders the same batch twice on one engine and
+// expects identical text, with the second render served from the cache.
+func TestRunReportDeterministic(t *testing.T) {
+	e := NewExperiments()
+	e.Engine = engine.New(2)
+	p := DefaultRunParams()
+	ids := []string{"table1", "table5", "table6"}
+	first, err := RunReport(context.Background(), e, p, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, misses0 := e.Engine.CacheStats()
+	second, err := RunReport(context.Background(), e, p, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := e.Engine.CacheStats()
+	if first.String() != second.String() {
+		t.Error("repeated report differs")
+	}
+	if hits1 <= hits0 {
+		t.Errorf("expected cache hits on repeat, got %d -> %d", hits0, hits1)
+	}
+	if misses1 != misses0 {
+		t.Errorf("repeat recomputed: misses %d -> %d", misses0, misses1)
+	}
+	if !strings.Contains(first.String(), "=== table5 ===") {
+		t.Errorf("missing section banner:\n%s", first.String())
+	}
+	if _, err := RunReport(context.Background(), e, p, []string{"bogus"}); err == nil {
+		t.Error("unknown id in batch should error")
+	}
+}

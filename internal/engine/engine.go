@@ -16,6 +16,11 @@
 //   - Memoisation: results are cached in memory by job key; repeating a job
 //     fingerprint (e.g. the same benchmark characterisation feeding two
 //     figures) returns the cached value without recomputation.
+//   - Coalescing: identical jobs that are in flight at the same time (e.g.
+//     two HTTP requests racing on the same sweep) are computed once; the
+//     followers wait for the leader's result instead of duplicating work
+//     (singleflight).  A job must therefore never schedule a nested batch
+//     containing its own key, which would wait on itself.
 package engine
 
 import (
@@ -60,11 +65,18 @@ type Engine struct {
 	// of finished jobs in the current batch, the batch size, and the job's
 	// key.  Calls are serialised and done counts are monotonic per batch.
 	Progress func(done, total int, key string)
+	// CacheLimit bounds the number of memoised results; 0 means unlimited.
+	// When the cache is full, an arbitrary entry is evicted per insertion —
+	// enough to cap a long-lived server's memory growth under many distinct
+	// requests, while the one-shot CLI stays unlimited.
+	CacheLimit int
 
-	mu     sync.Mutex
-	cache  map[string]any
-	hits   int
-	misses int
+	mu        sync.Mutex
+	cache     map[string]any
+	hits      int
+	misses    int
+	coalesced int
+	inflight  map[string]*flight
 	// extras grants slots for helper goroutines beyond the one goroutine
 	// each Run call already runs jobs on.  Lazily sized to Workers-1.
 	extras chan struct{}
@@ -100,6 +112,56 @@ func (e *Engine) CacheStats() (hits, misses int) {
 	return e.hits, e.misses
 }
 
+// Coalesced reports how many jobs were served by waiting on an identical
+// in-flight computation instead of recomputing (singleflight hits).
+func (e *Engine) Coalesced() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.coalesced
+}
+
+// flight is one in-progress computation of a job key.  Followers wait on
+// done and then read val/err; the leader settles and closes it.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// joinFlight registers interest in the computation of key.  It returns the
+// flight and whether the caller is the leader (must compute and settle it).
+// A nil flight means singleflight does not apply (empty key or nil engine)
+// and the caller should just compute.
+func (e *Engine) joinFlight(key string) (*flight, bool) {
+	if e == nil || key == "" {
+		return nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if f, ok := e.inflight[key]; ok {
+		e.coalesced++
+		return f, false
+	}
+	if e.inflight == nil {
+		e.inflight = make(map[string]*flight)
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight[key] = f
+	return f, true
+}
+
+// settleFlight publishes the leader's result and releases the followers.
+func (e *Engine) settleFlight(key string, f *flight, val any, err error) {
+	f.val, f.err = val, err
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(f.done)
+}
+
 func (e *Engine) cacheGet(key string) (any, bool) {
 	if e == nil {
 		return nil, false
@@ -125,9 +187,20 @@ func (e *Engine) cachePut(key string, v any) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.cache != nil {
-		e.cache[key] = v
+	if e.cache == nil {
+		return
 	}
+	if e.CacheLimit > 0 {
+		if _, exists := e.cache[key]; !exists {
+			for len(e.cache) >= e.CacheLimit {
+				for k := range e.cache {
+					delete(e.cache, k)
+					break
+				}
+			}
+		}
+	}
+	e.cache[key] = v
 }
 
 // SeedFor derives the RNG seed of a job from a base seed and the job key via
@@ -219,16 +292,63 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) ([]R, error) {
 					continue
 				}
 			}
+			fl, leader := e.joinFlight(job.Key)
+			if fl != nil && !leader {
+				// An identical job is already computing somewhere on this
+				// engine (possibly for another Run batch, e.g. a concurrent
+				// HTTP request): wait for its result instead of recomputing.
+				select {
+				case <-ctx.Done():
+					return
+				case <-fl.done:
+				}
+				if fl.err != nil {
+					fail(fl.err)
+					return
+				}
+				if r, isR := fl.val.(R); isR {
+					out[i] = r
+					finish(job.Key)
+					continue
+				}
+				// Result type differs across generic instantiations sharing
+				// a key; fall through and compute locally.
+			}
 			seed := SeedFor(e.engineSeed(), job.Key)
 			if job.Key == "" {
 				seed = SeedFor(e.engineSeed(), fmt.Sprintf("#%d", i))
 			}
-			v, err := job.Run(ctx, rand.New(rand.NewSource(seed)))
+			var v R
+			var err error
+			if fl != nil && leader {
+				// Settle the flight even if job.Run panics (e.g. a server
+				// handler recovering the panic keeps the process alive):
+				// otherwise followers of this key would block forever.
+				settled := false
+				func() {
+					defer func() {
+						if !settled {
+							e.settleFlight(job.Key, fl, nil,
+								fmt.Errorf("engine: job %q panicked", job.Key))
+						}
+					}()
+					v, err = job.Run(ctx, rand.New(rand.NewSource(seed)))
+					if err == nil {
+						e.cachePut(job.Key, v)
+					}
+					e.settleFlight(job.Key, fl, v, err)
+					settled = true
+				}()
+			} else {
+				v, err = job.Run(ctx, rand.New(rand.NewSource(seed)))
+				if err == nil {
+					e.cachePut(job.Key, v)
+				}
+			}
 			if err != nil {
 				fail(err)
 				return
 			}
-			e.cachePut(job.Key, v)
 			out[i] = v
 			finish(job.Key)
 		}

@@ -342,3 +342,182 @@ func TestNestedRunRespectsWorkerBudget(t *testing.T) {
 		t.Fatalf("peak concurrency %d exceeded the engine-wide budget of %d", p, workers)
 	}
 }
+
+// TestSingleflightCoalesces starts two concurrent batches computing the same
+// slow job key on one engine and asserts the job body runs once: the second
+// batch waits on the in-flight computation instead of duplicating it.
+func TestSingleflightCoalesces(t *testing.T) {
+	eng := New(4)
+	var computes atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slow := func(first bool) []Job[int] {
+		return []Job[int]{{
+			Key: "singleflight-job",
+			Run: func(context.Context, *rand.Rand) (int, error) {
+				computes.Add(1)
+				if first {
+					close(started)
+					<-release
+				}
+				return 42, nil
+			},
+		}}
+	}
+	firstDone := make(chan error, 1)
+	var firstOut []int
+	go func() {
+		out, err := Run(context.Background(), eng, slow(true))
+		firstOut = out
+		firstDone <- err
+	}()
+	<-started
+	secondDone := make(chan error, 1)
+	var secondOut []int
+	go func() {
+		out, err := Run(context.Background(), eng, slow(false))
+		secondOut = out
+		secondDone <- err
+	}()
+	// Wait until the second batch has joined the flight, then release the
+	// leader.
+	deadline := time.After(5 * time.Second)
+	for eng.Coalesced() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second batch never joined the in-flight job")
+		case err := <-secondDone:
+			t.Fatalf("second batch finished before the leader (err=%v)", err)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-secondDone; err != nil {
+		t.Fatal(err)
+	}
+	if firstOut[0] != 42 || secondOut[0] != 42 {
+		t.Fatalf("results = %v, %v; want 42, 42", firstOut, secondOut)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("job body ran %d times; want 1", got)
+	}
+	if eng.Coalesced() != 1 {
+		t.Errorf("Coalesced() = %d; want 1", eng.Coalesced())
+	}
+}
+
+// TestSingleflightPropagatesError ensures a coalesced follower receives the
+// leader's error instead of hanging or recomputing.
+func TestSingleflightPropagatesError(t *testing.T) {
+	eng := New(4)
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderJobs := []Job[int]{{
+		Key: "singleflight-err",
+		Run: func(context.Context, *rand.Rand) (int, error) {
+			close(started)
+			<-release
+			return 0, boom
+		},
+	}}
+	followerJobs := []Job[int]{{
+		Key: "singleflight-err",
+		Run: func(context.Context, *rand.Rand) (int, error) {
+			t.Error("follower should not recompute")
+			return 0, nil
+		},
+	}}
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), eng, leaderJobs)
+		firstDone <- err
+	}()
+	<-started
+	secondDone := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), eng, followerJobs)
+		secondDone <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for eng.Coalesced() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("follower never joined")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	if err := <-firstDone; !errors.Is(err, boom) {
+		t.Errorf("leader error = %v; want boom", err)
+	}
+	if err := <-secondDone; !errors.Is(err, boom) {
+		t.Errorf("follower error = %v; want boom", err)
+	}
+}
+
+// TestSingleflightSettlesOnPanic ensures a panicking leader releases its
+// flight so later identical jobs do not hang on a stale entry.
+func TestSingleflightSettlesOnPanic(t *testing.T) {
+	eng := New(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the job panic to propagate")
+			}
+		}()
+		Run(context.Background(), eng, []Job[int]{{
+			Key: "panic-job",
+			Run: func(context.Context, *rand.Rand) (int, error) { panic("kaboom") },
+		}})
+	}()
+	done := make(chan int, 1)
+	go func() {
+		out, err := Run(context.Background(), eng, []Job[int]{{
+			Key: "panic-job",
+			Run: func(context.Context, *rand.Rand) (int, error) { return 7, nil },
+		}})
+		if err != nil {
+			done <- -1
+			return
+		}
+		done <- out[0]
+	}()
+	select {
+	case v := <-done:
+		if v != 7 {
+			t.Errorf("second run returned %d; want 7", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second run hung on a stale flight")
+	}
+}
+
+// TestCacheLimitEvicts caps the memoisation cache and checks insertions
+// beyond the limit evict rather than grow.
+func TestCacheLimitEvicts(t *testing.T) {
+	eng := New(1)
+	eng.CacheLimit = 4
+	jobs := make([]Job[int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: Fingerprint("evict", i),
+			Run: func(context.Context, *rand.Rand) (int, error) { return i, nil },
+		}
+	}
+	if _, err := Run(context.Background(), eng, jobs); err != nil {
+		t.Fatal(err)
+	}
+	eng.mu.Lock()
+	size := len(eng.cache)
+	eng.mu.Unlock()
+	if size > 4 {
+		t.Errorf("cache grew to %d entries despite limit 4", size)
+	}
+}

@@ -8,6 +8,7 @@ package microarch
 
 import (
 	"fmt"
+	"strings"
 
 	"speedofdata/internal/factory"
 	"speedofdata/internal/iontrap"
@@ -54,6 +55,27 @@ func (a Architecture) String() string {
 // Architectures returns the simulated organisations in presentation order.
 func Architectures() []Architecture {
 	return []Architecture{QLA, GQLA, CQLA, GCQLA, FullyMultiplexed}
+}
+
+// ParseArchitecture resolves a request parameter or flag value to an
+// architecture.  Matching is case-insensitive and accepts both the Figure 15
+// legend names ("Fully-Multiplexed") and compact spellings ("fm",
+// "fullymultiplexed") suitable for query strings.
+func ParseArchitecture(name string) (Architecture, error) {
+	canon := strings.ToLower(strings.NewReplacer("-", "", "_", "").Replace(name))
+	for _, a := range Architectures() {
+		if canon == strings.ToLower(strings.ReplaceAll(a.String(), "-", "")) {
+			return a, nil
+		}
+	}
+	if canon == "fm" {
+		return FullyMultiplexed, nil
+	}
+	names := make([]string, 0, len(archNames))
+	for _, n := range archNames {
+		names = append(names, n)
+	}
+	return 0, fmt.Errorf("microarch: unknown architecture %q (want one of %s)", name, strings.Join(names, ", "))
 }
 
 // Config describes one simulation run.

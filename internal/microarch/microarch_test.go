@@ -394,3 +394,33 @@ func TestSweepEngineCancellation(t *testing.T) {
 		t.Error("cancelled sweep must report the context error")
 	}
 }
+
+func TestParseArchitecture(t *testing.T) {
+	cases := map[string]Architecture{
+		"QLA":               QLA,
+		"qla":               QLA,
+		"gqla":              GQLA,
+		"CQLA":              CQLA,
+		"gcqla":             GCQLA,
+		"Fully-Multiplexed": FullyMultiplexed,
+		"fullymultiplexed":  FullyMultiplexed,
+		"fully_multiplexed": FullyMultiplexed,
+		"fm":                FullyMultiplexed,
+	}
+	for in, want := range cases {
+		got, err := ParseArchitecture(in)
+		if err != nil || got != want {
+			t.Errorf("ParseArchitecture(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseArchitecture("warp"); err == nil {
+		t.Error("unknown architecture should fail")
+	}
+	// Every presentation-order architecture must round-trip its legend name.
+	for _, a := range Architectures() {
+		got, err := ParseArchitecture(a.String())
+		if err != nil || got != a {
+			t.Errorf("round-trip %v failed: %v, %v", a, got, err)
+		}
+	}
+}

@@ -106,6 +106,12 @@ func DefaultScales(max int) []int {
 	return scales
 }
 
+// DefaultMaxScale is the standard upper bound of the Figure 15 resource
+// sweep: generators (or shared factories) are swept over powers of two up to
+// this count.  The qsd CLI (-max-scale) and the HTTP API (?scale=) both
+// default to it.
+const DefaultMaxScale = 64
+
 // Figure15Config bundles the per-architecture settings used to regenerate
 // Figure 15 for one benchmark.
 type Figure15Config struct {
@@ -113,8 +119,13 @@ type Figure15Config struct {
 	// accounting); the architecture and resource counts are overridden per
 	// curve.
 	Base Config
-	// MaxScale bounds the resource sweep (default 64).
+	// MaxScale bounds the resource sweep (default DefaultMaxScale).
 	MaxScale int
+	// Archs restricts the comparison to a subset of organisations (nil = all
+	// of Architectures()).  Job keys depend only on (circuit, config, scale),
+	// so a filtered run shares its simulations with the full grid through the
+	// engine cache.
+	Archs []Architecture
 }
 
 // Figure15 produces the execution-time/area curves of Figure 15 for one
@@ -134,12 +145,16 @@ func Figure15(c *quantum.Circuit, cfg Figure15Config) (map[Architecture]Curve, e
 func Figure15Engine(ctx context.Context, eng *engine.Engine, c *quantum.Circuit, cfg Figure15Config) (map[Architecture]Curve, error) {
 	maxScale := cfg.MaxScale
 	if maxScale <= 0 {
-		maxScale = 64
+		maxScale = DefaultMaxScale
 	}
 	scales := DefaultScales(maxScale)
+	archs := cfg.Archs
+	if len(archs) == 0 {
+		archs = Architectures()
+	}
 	var jobs []engine.Job[CurvePoint]
 	var jobArch []Architecture
-	for _, arch := range Architectures() {
+	for _, arch := range archs {
 		base := cfg.Base
 		base.Arch = arch
 		archScales := scales

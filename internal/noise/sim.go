@@ -397,6 +397,12 @@ func protocolFingerprint(p *steane.Protocol) string {
 	return fmt.Sprintf("%s/%d/%x", p.Name, len(p.Ops), h.Sum64())
 }
 
+// DefaultTrials is the standard Monte Carlo effort for the Figure 4 error
+// estimates: enough samples to resolve the smallest published rate (2.9e-5
+// for verify-and-correct) with a usable confidence interval.  The qsd CLI
+// (-trials) and the HTTP API (?trials=) both default to it.
+const DefaultTrials = 200000
+
 // MonteCarlo estimates error rates with the given number of trials and seed.
 // It is the sequential form of MonteCarloEngine and produces identical
 // estimates for the same seed.

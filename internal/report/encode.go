@@ -1,0 +1,210 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Format selects a document encoding.
+type Format string
+
+const (
+	// FormatText is the aligned plain-text rendering, byte-identical to the
+	// historical qsd output.
+	FormatText Format = "text"
+	// FormatJSON is a structured JSON document with full-precision values.
+	FormatJSON Format = "json"
+	// FormatCSV is a flat CSV stream with full-precision values.
+	FormatCSV Format = "csv"
+)
+
+// ParseFormat parses a -format flag or ?format= query value.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case FormatText, FormatJSON, FormatCSV:
+		return Format(s), nil
+	case "":
+		return FormatText, nil
+	}
+	return "", fmt.Errorf("report: unknown format %q (want text, json or csv)", s)
+}
+
+// ContentType returns the HTTP content type of the format.
+func (f Format) ContentType() string {
+	switch f {
+	case FormatJSON:
+		return "application/json; charset=utf-8"
+	case FormatCSV:
+		return "text/csv; charset=utf-8"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// Encode writes the document to w in the given format.
+func (d Document) Encode(w io.Writer, f Format) error {
+	switch f {
+	case FormatJSON:
+		return d.encodeJSON(w)
+	case FormatCSV:
+		return d.encodeCSV(w)
+	case FormatText, "":
+		_, err := io.WriteString(w, d.String())
+		return err
+	}
+	return fmt.Errorf("report: unknown format %q", f)
+}
+
+// jsonDocument mirrors Document for encoding.
+type jsonDocument struct {
+	Sections []jsonSection `json:"sections"`
+}
+
+type jsonSection struct {
+	ID     string      `json:"id"`
+	Blocks []jsonBlock `json:"blocks"`
+}
+
+// jsonBlock is the tagged union of block kinds.  Exactly one of Table,
+// Series and Text is set, according to Type.
+type jsonBlock struct {
+	Type   string      `json:"type"`
+	Table  *jsonTable  `json:"table,omitempty"`
+	Series *jsonSeries `json:"series,omitempty"`
+	Text   string      `json:"text,omitempty"`
+}
+
+type jsonTable struct {
+	Title   string   `json:"title,omitempty"`
+	Headers []string `json:"headers,omitempty"`
+	Rows    [][]any  `json:"rows"`
+}
+
+type jsonSeries struct {
+	Title  string        `json:"title,omitempty"`
+	XLabel string        `json:"xlabel,omitempty"`
+	YLabel string        `json:"ylabel,omitempty"`
+	Points []SeriesPoint `json:"points"`
+}
+
+// MarshalJSON emits the point as {"x": ..., "y": ...}.
+func (p SeriesPoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	}{p.X, p.Y})
+}
+
+// jsonValue returns the cell's value for JSON encoding.  Values the encoder
+// cannot represent (channels, functions, NaN/Inf floats) fall back to their
+// %v string so one odd cell never fails a whole document.
+func (c Cell) jsonValue() any {
+	if f, ok := c.v.(float64); ok {
+		// JSON has no NaN/Inf literals.
+		if _, err := json.Marshal(f); err != nil {
+			return c.Machine()
+		}
+		return f
+	}
+	if c.v == nil {
+		return nil
+	}
+	if _, err := json.Marshal(c.v); err != nil {
+		return fmt.Sprintf("%v", c.v)
+	}
+	return c.v
+}
+
+func (d Document) encodeJSON(w io.Writer) error {
+	doc := jsonDocument{Sections: make([]jsonSection, len(d.Sections))}
+	for i, s := range d.Sections {
+		js := jsonSection{ID: s.ID, Blocks: make([]jsonBlock, 0, len(s.Blocks))}
+		for _, blk := range s.Blocks {
+			switch b := blk.(type) {
+			case Table:
+				jt := &jsonTable{Title: b.Title, Headers: b.Headers, Rows: make([][]any, len(b.Rows))}
+				for r, row := range b.Rows {
+					cells := make([]any, len(row))
+					for c, cell := range row {
+						cells[c] = cell.jsonValue()
+					}
+					jt.Rows[r] = cells
+				}
+				js.Blocks = append(js.Blocks, jsonBlock{Type: "table", Table: jt})
+			case Series:
+				points := b.Points
+				if points == nil {
+					points = []SeriesPoint{}
+				}
+				js.Blocks = append(js.Blocks, jsonBlock{Type: "series", Series: &jsonSeries{
+					Title: b.Title, XLabel: b.XLabel, YLabel: b.YLabel, Points: points,
+				}})
+			case Text:
+				js.Blocks = append(js.Blocks, jsonBlock{Type: "text", Text: string(b)})
+			default:
+				js.Blocks = append(js.Blocks, jsonBlock{Type: "text", Text: blk.blockText()})
+			}
+		}
+		doc.Sections[i] = js
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// encodeCSV flattens the document into one CSV stream.  Every record is
+// prefixed with the section id and the kind of the record: "header" records
+// carry table headers (or series axis labels), "row" records carry
+// full-precision cell values, "text" records carry free-form notes.
+func (d Document) encodeCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, s := range d.Sections {
+		for _, blk := range s.Blocks {
+			switch b := blk.(type) {
+			case Table:
+				if len(b.Headers) > 0 {
+					if err := cw.Write(append([]string{s.ID, "header"}, b.Headers...)); err != nil {
+						return err
+					}
+				}
+				for _, row := range b.Rows {
+					rec := make([]string, 2, 2+len(row))
+					rec[0], rec[1] = s.ID, "row"
+					for _, cell := range row {
+						rec = append(rec, cell.Machine())
+					}
+					if err := cw.Write(rec); err != nil {
+						return err
+					}
+				}
+			case Series:
+				x, y := b.XLabel, b.YLabel
+				if x == "" {
+					x = "x"
+				}
+				if y == "" {
+					y = "y"
+				}
+				if err := cw.Write([]string{s.ID, "header", x, y}); err != nil {
+					return err
+				}
+				for _, p := range b.Points {
+					if err := cw.Write([]string{s.ID, "row",
+						strconv.FormatFloat(p.X, 'g', -1, 64),
+						strconv.FormatFloat(p.Y, 'g', -1, 64)}); err != nil {
+						return err
+					}
+				}
+			case Text:
+				if err := cw.Write([]string{s.ID, "text", string(b)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,40 +1,83 @@
-// Package report renders experiment results as aligned plain-text tables and
-// simple ASCII series, the output format of the qsd command-line tool and of
-// EXPERIMENTS.md regeneration.
+// Package report models experiment results as structured documents — typed
+// tables, (x, y) series and free-form notes grouped into sections — and
+// renders them through pluggable encoders: aligned plain text (the historical
+// qsd output format, byte-for-byte), JSON and CSV.
+//
+// Values stay typed all the way to the encoder.  A Cell holds the original
+// Go value; the text encoder applies the paper's compact float formatting
+// (FormatFloat) while the machine-readable encoders emit full-precision
+// values, so a JSON consumer can round-trip every number exactly even though
+// the terminal rendering rounds for readability.
 package report
 
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 )
 
-// Table is a titled grid of cells.
+// Cell is one typed table value.  The zero Cell holds nil and renders empty.
+type Cell struct {
+	v any
+}
+
+// CellOf wraps a value in a Cell.
+func CellOf(v any) Cell { return Cell{v: v} }
+
+// Value returns the wrapped value.
+func (c Cell) Value() any { return c.v }
+
+// Text renders the cell for the plain-text encoder: floats compactly via
+// FormatFloat, strings verbatim, everything else with %v.
+func (c Cell) Text() string {
+	switch v := c.v.(type) {
+	case nil:
+		return ""
+	case float64:
+		return FormatFloat(v)
+	case string:
+		return v
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Machine renders the cell for machine-readable encoders (CSV): floats at
+// full round-trip precision, strings verbatim, everything else with %v.
+func (c Cell) Machine() string {
+	switch v := c.v.(type) {
+	case nil:
+		return ""
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case string:
+		return v
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Table is a titled grid of typed cells.
 type Table struct {
 	Title   string
 	Headers []string
-	Rows    [][]string
+	Rows    [][]Cell
 }
 
-// AddRow appends a row built from arbitrary values formatted with %v
-// (float64 values are formatted compactly).
+// AddRow appends a row of arbitrary values, each stored as a typed Cell.
 func (t *Table) AddRow(cells ...interface{}) {
-	row := make([]string, len(cells))
+	row := make([]Cell, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = FormatFloat(v)
-		case string:
-			row[i] = v
-		default:
-			row[i] = fmt.Sprintf("%v", v)
-		}
+		row[i] = CellOf(c)
 	}
 	t.Rows = append(t.Rows, row)
 }
 
 // FormatFloat renders a float compactly: integers without decimals, small
-// values in scientific notation, everything else with one decimal.
+// values in scientific notation, everything else with one decimal.  It is
+// the text encoder's float format; machine-readable encoders bypass it and
+// emit full precision (see Cell.Machine and the JSON encoder).
 func FormatFloat(v float64) string {
 	switch {
 	case v == 0:
@@ -48,7 +91,7 @@ func FormatFloat(v float64) string {
 	}
 }
 
-// String renders the table with aligned columns.
+// String renders the table as plain text with aligned columns.
 func (t Table) String() string {
 	cols := len(t.Headers)
 	for _, r := range t.Rows {
@@ -64,10 +107,17 @@ func (t Table) String() string {
 			}
 		}
 	}
+	text := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		text[i] = make([]string, len(r))
+		for j, c := range r {
+			text[i][j] = c.Text()
+		}
+	}
 	if len(t.Headers) > 0 {
 		measure(t.Headers)
 	}
-	for _, r := range t.Rows {
+	for _, r := range text {
 		measure(r)
 	}
 	var b strings.Builder
@@ -94,13 +144,14 @@ func (t Table) String() string {
 		b.WriteString(strings.Repeat("-", total))
 		b.WriteString("\n")
 	}
-	for _, r := range t.Rows {
+	for _, r := range text {
 		writeRow(r)
 	}
 	return b.String()
 }
 
-// Series is a one-dimensional curve rendered as an ASCII bar chart, used for
+// Series is a one-dimensional curve rendered as an ASCII bar chart by the
+// text encoder and as an (x, y) point list by the machine encoders, used for
 // the figure reproductions.
 type Series struct {
 	Title  string
@@ -150,38 +201,73 @@ func (s Series) String() string {
 	return b.String()
 }
 
-// Section is one rendered experiment: a stable identifier (the experiment id
-// the qsd tool accepts) plus its rendered text.
-type Section struct {
-	ID   string
-	Body string
+// Text is a free-form preformatted block (summary lines, footnotes).  The
+// text encoder emits it verbatim; machine encoders carry it as a note.
+type Text string
+
+// Block is one content element of a Section: a Table, a Series or a Text
+// note.
+type Block interface {
+	// blockText renders the block for the plain-text encoder.
+	blockText() string
 }
 
-// Document collects rendered experiment sections in presentation order.  The
-// qsd tool regenerates every table and figure by running experiments as
-// engine jobs that each produce one Section body, then rendering the
-// collected results through this single code path.
+func (t Table) blockText() string  { return t.String() }
+func (s Series) blockText() string { return s.String() }
+func (t Text) blockText() string   { return string(t) }
+
+// Section is one rendered experiment: a stable identifier (the experiment id
+// the qsd tool and the HTTP API accept) plus its content blocks in
+// presentation order.
+type Section struct {
+	ID     string
+	Blocks []Block
+}
+
+// NewSection builds a section from blocks.
+func NewSection(id string, blocks ...Block) Section {
+	return Section{ID: id, Blocks: blocks}
+}
+
+// Text renders the section's blocks as concatenated plain text.
+func (s Section) Text() string {
+	var b strings.Builder
+	for _, blk := range s.Blocks {
+		b.WriteString(blk.blockText())
+	}
+	return b.String()
+}
+
+// Document collects experiment sections in presentation order.  The qsd tool
+// and the HTTP server regenerate every table and figure by running
+// experiments as engine jobs that each produce one Section, then encoding
+// the collected results through this single code path.
 type Document struct {
 	Sections []Section
 }
 
-// Add appends a section.
-func (d *Document) Add(id, body string) {
-	d.Sections = append(d.Sections, Section{ID: id, Body: body})
+// Add appends a section made of the given blocks.
+func (d *Document) Add(id string, blocks ...Block) {
+	d.Sections = append(d.Sections, Section{ID: id, Blocks: blocks})
 }
 
-// String renders the document.  A single section prints bare; multiple
-// sections are separated by "=== id ===" banners.
+// AddSection appends a prebuilt section.
+func (d *Document) AddSection(s Section) {
+	d.Sections = append(d.Sections, s)
+}
+
+// String renders the document as plain text.  A single section prints bare;
+// multiple sections are separated by "=== id ===" banners.
 func (d Document) String() string {
 	if len(d.Sections) == 1 {
-		return d.Sections[0].Body
+		return d.Sections[0].Text()
 	}
 	var b strings.Builder
 	for i, s := range d.Sections {
 		if i > 0 {
 			b.WriteByte('\n')
 		}
-		fmt.Fprintf(&b, "=== %s ===\n%s", s.ID, s.Body)
+		fmt.Fprintf(&b, "=== %s ===\n%s", s.ID, s.Text())
 	}
 	return b.String()
 }

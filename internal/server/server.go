@@ -1,0 +1,243 @@
+// Package server exposes the experiment registry over HTTP as a JSON/CSV
+// API, turning the one-shot qsd batch tool into a long-lived service.
+//
+// All requests run on one shared engine.Engine, so the fingerprint-keyed
+// result cache and the worker pool are reused across requests: a repeated
+// request with identical parameters is served from cache without
+// recomputation, and identical requests that race are coalesced onto a
+// single in-flight computation (singleflight).  Long sweeps report job
+// completions on a server-sent-events progress stream.
+//
+// Endpoints (all GET):
+//
+//	/v1/experiments            list every experiment with its parameters
+//	/v1/experiments/{id}       run one experiment (or "all"); parameters:
+//	                           format (json, csv, text; default json),
+//	                           bits, trials, seed, buckets, benchmark,
+//	                           scale (alias max-scale), arch
+//	/v1/progress               SSE stream of engine job completions
+//	/v1/cache                  engine cache and coalescing statistics
+//	/v1/healthz                liveness probe
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"speedofdata/internal/core"
+	"speedofdata/internal/report"
+)
+
+// Server is the HTTP handler of the experiment API.
+type Server struct {
+	exp      core.Experiments
+	defaults core.RunParams
+	mux      *http.ServeMux
+	hub      *progressHub
+}
+
+// New builds a server around the given experiment runner, whose Engine is
+// shared by every request.  defaults supplies the parameter values used when
+// a query string omits them (use core.DefaultRunParams for the paper's
+// settings).  The engine's Progress callback is claimed for the /v1/progress
+// stream.
+func New(exp core.Experiments, defaults core.RunParams) *Server {
+	s := &Server{exp: exp, defaults: defaults, mux: http.NewServeMux(), hub: newProgressHub()}
+	if exp.Engine != nil {
+		exp.Engine.Progress = s.hub.broadcast
+	}
+	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/progress", s.hub.handleSSE)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// listedExperiment is one entry of the /v1/experiments index.
+type listedExperiment struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Aliases []string `json:"aliases,omitempty"`
+	Params  []string `json:"params,omitempty"`
+	Path    string   `json:"path"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	infos := core.ExperimentInfos()
+	out := struct {
+		Experiments []listedExperiment `json:"experiments"`
+	}{Experiments: make([]listedExperiment, 0, len(infos))}
+	for _, info := range infos {
+		out.Experiments = append(out.Experiments, listedExperiment{
+			ID:      info.ID,
+			Title:   info.Title,
+			Aliases: info.Aliases,
+			Params:  info.Params,
+			Path:    "/v1/experiments/" + info.ID,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// queryParams overlays the request's query string on the server defaults.
+// It returns the experiment runner (bits applied) and the run parameters.
+func (s *Server) queryParams(r *http.Request) (core.Experiments, core.RunParams, error) {
+	exp, p := s.exp, s.defaults
+	q := r.URL.Query()
+	fail := func(name string, err error) (core.Experiments, core.RunParams, error) {
+		return exp, p, fmt.Errorf("invalid %s: %v", name, err)
+	}
+	intParam := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("invalid %s: %v", name, err)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	for name, dst := range map[string]*int{
+		"bits":    &exp.Bits,
+		"trials":  &p.Trials,
+		"buckets": &p.Buckets,
+	} {
+		if err := intParam(name, dst); err != nil {
+			return exp, p, err
+		}
+	}
+	// "scale" is the documented spelling; "max-scale" matches the CLI flag.
+	for _, name := range []string{"max-scale", "scale"} {
+		if err := intParam(name, &p.MaxScale); err != nil {
+			return exp, p, err
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fail("seed", err)
+		}
+		p.Seed = n
+	}
+	if v := q.Get("benchmark"); v != "" {
+		p.Benchmark = v
+	}
+	if v := q.Get("arch"); v != "" {
+		p.Arch = v
+	}
+	if exp.Bits <= 0 {
+		return exp, p, fmt.Errorf("invalid bits: must be positive, got %d", exp.Bits)
+	}
+	if err := p.Validate(); err != nil {
+		return exp, p, err
+	}
+	// Upper bounds on client-controlled effort.  The CLI may run arbitrarily
+	// heavy experiments on the operator's own machine; HTTP clients may not
+	// pin the shared worker pool for hours with one request.
+	for _, lim := range []struct {
+		name string
+		got  int
+		max  int
+	}{
+		{"bits", exp.Bits, maxBits},
+		{"trials", p.Trials, maxTrials},
+		{"buckets", p.Buckets, maxBuckets},
+		{"scale", p.MaxScale, maxRequestScale},
+	} {
+		if lim.got > lim.max {
+			return exp, p, fmt.Errorf("invalid %s: %d exceeds the server limit %d", lim.name, lim.got, lim.max)
+		}
+	}
+	return exp, p, nil
+}
+
+// Per-request effort limits enforced by queryParams.
+const (
+	maxBits         = 128
+	maxTrials       = 10_000_000
+	maxBuckets      = 100_000
+	maxRequestScale = 4096
+)
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ids := []string{id}
+	if id == "all" {
+		ids = core.AllExperimentOrder
+	} else if _, ok := core.CanonicalExperimentID(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q", id)
+		return
+	}
+	f := report.FormatJSON
+	if v := r.URL.Query().Get("format"); v != "" {
+		parsed, err := report.ParseFormat(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		f = parsed
+	}
+	exp, p, err := s.queryParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	doc, err := core.RunReport(r.Context(), exp, p, ids)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client went away; there is no one to answer.
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", f.ContentType())
+	doc.Encode(w, f)
+}
+
+// cacheStats is the /v1/cache response body.
+type cacheStats struct {
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Coalesced int `json:"coalesced"`
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.exp.Engine.CacheStats()
+	writeJSON(w, http.StatusOK, cacheStats{
+		Hits:      hits,
+		Misses:    misses,
+		Coalesced: s.exp.Engine.Coalesced(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}

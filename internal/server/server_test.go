@@ -1,0 +1,295 @@
+package server
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"speedofdata/internal/core"
+	"speedofdata/internal/engine"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, core.Experiments) {
+	t.Helper()
+	exp := core.NewExperiments()
+	exp.Engine = engine.New(2)
+	ts := httptest.NewServer(New(exp, core.DefaultRunParams()))
+	t.Cleanup(ts.Close)
+	return ts, exp
+}
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+// cheapIDs are experiment endpoints fast enough for the test suite; the
+// acceptance criterion wants at least six answering in JSON and CSV.
+var cheapIDs = []string{"table1", "table5", "table6", "table7", "table8", "simple-factory"}
+
+func TestExperimentEndpointsJSON(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, id := range cheapIDs {
+		status, body, ctype := get(t, ts.URL+"/v1/experiments/"+id+"?format=json")
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", id, status, body)
+		}
+		if !strings.HasPrefix(ctype, "application/json") {
+			t.Errorf("%s: content type %q", id, ctype)
+		}
+		var doc struct {
+			Sections []struct {
+				ID     string            `json:"id"`
+				Blocks []json.RawMessage `json:"blocks"`
+			} `json:"sections"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", id, err)
+		}
+		if len(doc.Sections) != 1 || doc.Sections[0].ID != id || len(doc.Sections[0].Blocks) == 0 {
+			t.Errorf("%s: unexpected document: %s", id, body)
+		}
+	}
+}
+
+func TestExperimentEndpointsCSV(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, id := range cheapIDs {
+		status, body, ctype := get(t, ts.URL+"/v1/experiments/"+id+"?format=csv")
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", id, status, body)
+		}
+		if !strings.HasPrefix(ctype, "text/csv") {
+			t.Errorf("%s: content type %q", id, ctype)
+		}
+		cr := csv.NewReader(strings.NewReader(body))
+		cr.FieldsPerRecord = -1
+		recs, err := cr.ReadAll()
+		if err != nil {
+			t.Fatalf("%s: invalid CSV: %v", id, err)
+		}
+		if len(recs) == 0 || recs[0][0] != id {
+			t.Errorf("%s: unexpected CSV: %v", id, recs)
+		}
+	}
+}
+
+// TestRepeatedRequestServedFromCache is the acceptance check: an identical
+// second request must be answered from the engine's fingerprint cache, not
+// recomputed.
+func TestRepeatedRequestServedFromCache(t *testing.T) {
+	ts, exp := newTestServer(t)
+	url := ts.URL + "/v1/experiments/table5?format=json"
+	status, first, _ := get(t, url)
+	if status != http.StatusOK {
+		t.Fatalf("first request: %d %s", status, first)
+	}
+	hits0, misses0 := exp.Engine.CacheStats()
+	status, second, _ := get(t, url)
+	if status != http.StatusOK {
+		t.Fatalf("second request: %d %s", status, second)
+	}
+	hits1, misses1 := exp.Engine.CacheStats()
+	if first != second {
+		t.Error("identical requests returned different bodies")
+	}
+	if hits1 <= hits0 {
+		t.Errorf("second request did not hit the cache: hits %d -> %d", hits0, hits1)
+	}
+	if misses1 != misses0 {
+		t.Errorf("second request recomputed: misses %d -> %d", misses0, misses1)
+	}
+
+	// Different parameters must not be served from the same cache entry.
+	status, _, _ = get(t, ts.URL+"/v1/experiments/table5?format=json&bits=16")
+	if status != http.StatusOK {
+		t.Fatalf("bits=16 request: %d", status)
+	}
+	_, misses2 := exp.Engine.CacheStats()
+	if misses2 == misses1 {
+		t.Error("changed parameters should have computed fresh jobs")
+	}
+}
+
+func TestTextFormatMatchesCLIRenderer(t *testing.T) {
+	ts, exp := newTestServer(t)
+	status, body, ctype := get(t, ts.URL+"/v1/experiments/table1?format=text")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("content type %q", ctype)
+	}
+	sec, err := core.RunExperiment(exp, "table1", core.DefaultRunParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != sec.Text() {
+		t.Errorf("HTTP text differs from CLI renderer:\n%q\n%q", body, sec.Text())
+	}
+}
+
+func TestListEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	status, body, _ := get(t, ts.URL+"/v1/experiments")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	var out struct {
+		Experiments []struct {
+			ID   string `json:"id"`
+			Path string `json:"path"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Experiments) < 10 {
+		t.Errorf("expected a full index, got %d entries", len(out.Experiments))
+	}
+	for _, e := range out.Experiments {
+		if !strings.HasPrefix(e.Path, "/v1/experiments/") {
+			t.Errorf("bad path %q", e.Path)
+		}
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/v1/experiments/nope", http.StatusNotFound},
+		{"/v1/experiments/table1?format=xml", http.StatusBadRequest},
+		{"/v1/experiments/fig15?arch=warp", http.StatusBadRequest},
+		{"/v1/experiments/table1?bits=-3", http.StatusBadRequest},
+		{"/v1/experiments/fig4?trials=zillions", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		status, body, _ := get(t, ts.URL+c.url)
+		if status != c.code {
+			t.Errorf("%s: status %d, want %d (%s)", c.url, status, c.code, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: expected JSON error body, got %q", c.url, body)
+		}
+	}
+}
+
+func TestHealthAndCacheEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	status, body, _ := get(t, ts.URL+"/v1/healthz")
+	if status != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Errorf("healthz: %d %s", status, body)
+	}
+	get(t, ts.URL+"/v1/experiments/table5")
+	status, body, _ = get(t, ts.URL+"/v1/cache")
+	if status != http.StatusOK {
+		t.Fatalf("cache: %d", status)
+	}
+	var stats struct {
+		Hits, Misses, Coalesced int
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Misses == 0 {
+		t.Errorf("expected recorded misses after a run: %s", body)
+	}
+}
+
+// TestProgressSSE subscribes to the progress stream, triggers a run and
+// expects at least one job event before a deadline.
+func TestProgressSSE(t *testing.T) {
+	ts, _ := newTestServer(t)
+	req, err := http.NewRequest("GET", ts.URL+"/v1/progress", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	events := make(chan string, 16)
+	go func() {
+		scanner := bufio.NewScanner(resp.Body)
+		for scanner.Scan() {
+			line := scanner.Text()
+			if strings.HasPrefix(line, "data: ") {
+				events <- strings.TrimPrefix(line, "data: ")
+			}
+		}
+	}()
+	// Give the subscription a moment, then trigger work with fresh
+	// parameters so jobs actually execute (cache misses).  Plain http.Get:
+	// t.Fatal must not be called off the test goroutine.
+	time.Sleep(50 * time.Millisecond)
+	go func() {
+		resp, err := http.Get(ts.URL + fmt.Sprintf("/v1/experiments/table5?bits=%d", 24))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	select {
+	case data := <-events:
+		var ev struct {
+			Done  int    `json:"done"`
+			Total int    `json:"total"`
+			Key   string `json:"key"`
+		}
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", data, err)
+		}
+		if ev.Done <= 0 || ev.Total <= 0 {
+			t.Errorf("implausible event: %+v", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no progress event received")
+	}
+}
+
+// TestRequestLimits ensures client-controlled effort parameters are bounded.
+func TestRequestLimits(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, url := range []string{
+		"/v1/experiments/fig4?trials=2000000000",
+		"/v1/experiments/table2?bits=100000",
+		"/v1/experiments/fig7?buckets=99999999",
+		"/v1/experiments/fig15?scale=1000000",
+	} {
+		status, body, _ := get(t, ts.URL+url)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", url, status, body)
+		}
+		if !strings.Contains(body, "server limit") {
+			t.Errorf("%s: error should name the limit: %s", url, body)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// progressEvent is one engine job completion, streamed to /v1/progress
+// subscribers as a server-sent event.
+type progressEvent struct {
+	// Done and Total are the finished and total job counts of the batch the
+	// job belonged to.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Key is the completed job's fingerprint.
+	Key string `json:"key"`
+}
+
+// progressHub fans engine progress callbacks out to SSE subscribers.  The
+// engine serialises Progress calls, but subscribers come and go from request
+// goroutines, so the subscriber set is mutex-guarded.  Slow subscribers drop
+// events instead of stalling the engine.
+type progressHub struct {
+	mu   sync.Mutex
+	subs map[chan progressEvent]struct{}
+}
+
+func newProgressHub() *progressHub {
+	return &progressHub{subs: make(map[chan progressEvent]struct{})}
+}
+
+func (h *progressHub) subscribe() chan progressEvent {
+	ch := make(chan progressEvent, 64)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *progressHub) unsubscribe(ch chan progressEvent) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+}
+
+// broadcast is installed as the engine's Progress callback.  It must never
+// block: it runs inside the engine's progress lock.
+func (h *progressHub) broadcast(done, total int, key string) {
+	ev := progressEvent{Done: done, Total: total, Key: key}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default: // subscriber too slow; drop
+		}
+	}
+}
+
+// handleSSE streams engine job completions as server-sent events with event
+// type "job" until the client disconnects.
+func (h *progressHub) handleSSE(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": connected\n\n")
+	flusher.Flush()
+
+	ch := h.subscribe()
+	defer h.unsubscribe(ch)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: job\ndata: %s\n\n", data)
+			flusher.Flush()
+		}
+	}
+}
