@@ -8,7 +8,10 @@ package speedofdata_test
 
 import (
 	"context"
+	"encoding/json"
+	"os"
 	"testing"
+	"time"
 
 	"speedofdata/internal/circuits"
 	"speedofdata/internal/core"
@@ -18,6 +21,7 @@ import (
 	"speedofdata/internal/iontrap"
 	"speedofdata/internal/microarch"
 	"speedofdata/internal/noise"
+	"speedofdata/internal/quantum"
 	"speedofdata/internal/schedule"
 	"speedofdata/internal/steane"
 )
@@ -453,5 +457,173 @@ func BenchmarkEngineCachedExperiment(b *testing.B) {
 		if _, err := e.Table2And3(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Discrete-event simulation benches ---
+//
+// The event-driven simulator (internal/sim kernel) replaced the closed-form
+// token-bucket model as the default Simulate path; with infinite buffers the
+// two produce bit-identical results (TestEventSimulatorMatchesClosedFormOnFigure15Grid),
+// so the interesting quantity is the runtime cost of the kernel on the hot
+// Figure 15 grid.  BenchmarkSimComparisonReport writes the comparison to
+// BENCH_sim.json, seeding the performance trajectory for later PRs.
+
+// simGridPoint is one (architecture, scale) cell of the Figure 15 grid used
+// by the simulator benches.
+type simGridPoint struct {
+	arch  microarch.Architecture
+	scale int
+}
+
+func simGrid(maxScale int) []simGridPoint {
+	var grid []simGridPoint
+	for _, arch := range microarch.Architectures() {
+		for _, s := range microarch.ScalesFor(arch, maxScale) {
+			grid = append(grid, simGridPoint{arch: arch, scale: s})
+		}
+	}
+	return grid
+}
+
+func simGridConfig(p simGridPoint) microarch.Config {
+	cfg := microarch.DefaultConfig(p.arch)
+	switch p.arch {
+	case microarch.FullyMultiplexed:
+		cfg.SharedFactories = p.scale
+	default:
+		cfg.GeneratorsPerQubit = p.scale
+	}
+	return cfg
+}
+
+func benchmarkSimGrid(b *testing.B, run func(*quantum.Circuit, microarch.Config) (microarch.Result, error)) {
+	c, err := circuits.Generate(circuits.QCLA, benchBits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := simGrid(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range grid {
+			if _, err := run(c, simGridConfig(p)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(grid)), "grid-points")
+}
+
+// BenchmarkSimClosedFormGrid measures the analytical (list-scheduling) model
+// over the Figure 15 grid.
+func BenchmarkSimClosedFormGrid(b *testing.B) {
+	benchmarkSimGrid(b, microarch.SimulateClosedForm)
+}
+
+// BenchmarkSimEventGrid measures the event-driven kernel over the same grid
+// (infinite buffers: identical results to the closed form).
+func BenchmarkSimEventGrid(b *testing.B) {
+	benchmarkSimGrid(b, microarch.Simulate)
+}
+
+// BenchmarkSimEventGridFiniteBuffer measures the finite-buffer mode, which
+// adds producer ticks and resource hand-offs to the event stream.
+func BenchmarkSimEventGridFiniteBuffer(b *testing.B) {
+	benchmarkSimGrid(b, func(c *quantum.Circuit, cfg microarch.Config) (microarch.Result, error) {
+		cfg.BufferAncillae = 16
+		return microarch.Simulate(c, cfg)
+	})
+}
+
+// BenchmarkSimComparisonReport times the closed-form and event-driven
+// simulators point by point over the Figure 15 grid and writes the
+// comparison to BENCH_sim.json (the perf-trajectory seed).  `go test -bench
+// SimComparisonReport -benchtime 1x` refreshes the file.
+func BenchmarkSimComparisonReport(b *testing.B) {
+	type entry struct {
+		Benchmark       string  `json:"benchmark"`
+		Arch            string  `json:"arch"`
+		Scale           int     `json:"scale"`
+		Gates           int     `json:"gates"`
+		MakespanMs      float64 `json:"makespan_ms"`
+		ClosedFormNs    int64   `json:"closed_form_ns"`
+		EventNs         int64   `json:"event_ns"`
+		EventOverClosed float64 `json:"event_over_closed"`
+		KernelEvents    int     `json:"kernel_events"`
+		Parity          bool    `json:"parity"`
+	}
+	type document struct {
+		Description     string  `json:"description"`
+		Bits            int     `json:"bits"`
+		MaxScale        int     `json:"max_scale"`
+		Entries         []entry `json:"entries"`
+		ClosedFormNs    int64   `json:"total_closed_form_ns"`
+		EventNs         int64   `json:"total_event_ns"`
+		EventOverClosed float64 `json:"total_event_over_closed"`
+		ParityFailures  int     `json:"parity_failures"`
+	}
+	doc := document{
+		Description: "Closed-form vs event-driven (internal/sim kernel) simulator runtime on the Figure 15 grid; infinite buffers, so results are bit-identical and the delta is pure kernel overhead.",
+		Bits:        benchBits,
+		MaxScale:    16,
+	}
+	for i := 0; i < b.N; i++ {
+		doc.Entries = doc.Entries[:0]
+		doc.ClosedFormNs, doc.EventNs, doc.ParityFailures = 0, 0, 0
+		for _, kind := range circuits.Benchmarks() {
+			c, err := circuits.Generate(kind, benchBits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range simGrid(16) {
+				cfg := simGridConfig(p)
+				t0 := time.Now()
+				closed, err := microarch.SimulateClosedForm(c, cfg)
+				closedNs := time.Since(t0).Nanoseconds()
+				if err != nil {
+					b.Fatal(err)
+				}
+				t0 = time.Now()
+				event, err := microarch.Simulate(c, cfg)
+				eventNs := time.Since(t0).Nanoseconds()
+				if err != nil {
+					b.Fatal(err)
+				}
+				parity := event.ExecutionTime == closed.ExecutionTime
+				if !parity {
+					doc.ParityFailures++
+				}
+				ratio := 0.0
+				if closedNs > 0 {
+					ratio = float64(eventNs) / float64(closedNs)
+				}
+				doc.Entries = append(doc.Entries, entry{
+					Benchmark:       kind.String(),
+					Arch:            p.arch.String(),
+					Scale:           p.scale,
+					Gates:           c.Len(),
+					MakespanMs:      event.ExecutionTimeMs(),
+					ClosedFormNs:    closedNs,
+					EventNs:         eventNs,
+					EventOverClosed: ratio,
+					KernelEvents:    event.Events,
+					Parity:          parity,
+				})
+				doc.ClosedFormNs += closedNs
+				doc.EventNs += eventNs
+			}
+		}
+	}
+	if doc.ClosedFormNs > 0 {
+		doc.EventOverClosed = float64(doc.EventNs) / float64(doc.ClosedFormNs)
+	}
+	b.ReportMetric(doc.EventOverClosed, "event/closed-runtime")
+	b.ReportMetric(float64(doc.ParityFailures), "parity-failures")
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sim.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -9,7 +9,11 @@
 //
 // Experiments: table1, table2, table3, table4, table5, table6, table7,
 // table8, table9, fig4, fig7, fig8, fig15, fowler, shor, simple-factory,
-// zero-factory, pi8-factory, qalypso, all.
+// zero-factory, pi8-factory, qalypso, all, plus the event-driven scenarios
+// fig15buf (Figure 15 with finite ancilla buffers), buffersweep (execution
+// time vs buffer capacity), contention (co-scheduled benchmarks sharing one
+// factory bank) and factory-sim (factory pipelines on the event kernel);
+// -buffer sets the finite buffer capacity (0 = infinite).
 //
 // Every experiment runs as a job batch on the shared experiment engine
 // (internal/engine): -parallel selects the worker count, a progress line on
@@ -57,8 +61,9 @@ func run(args []string, out *os.File) error {
 	seed := fs.Int64("seed", 1, "Monte Carlo seed for fig4")
 	buckets := fs.Int("buckets", schedule.DefaultDemandBuckets, "time buckets for fig7")
 	maxScale := fs.Int("max-scale", microarch.DefaultMaxScale, "largest resource scale for fig15")
-	benchName := fs.String("benchmark", "QCLA", "benchmark for fig15 (QRCA, QCLA, QFT)")
-	arch := fs.String("arch", "", "restrict fig15 to one architecture (QLA, GQLA, CQLA, GCQLA, Fully-Multiplexed)")
+	benchName := fs.String("benchmark", "QCLA", "benchmark for fig15/fig15buf/buffersweep (QRCA, QCLA, QFT)")
+	arch := fs.String("arch", "", "restrict fig15/fig15buf/buffersweep to one architecture (QLA, GQLA, CQLA, GCQLA, Fully-Multiplexed)")
+	buffer := fs.Int("buffer", core.DefaultBufferAncillae, "ancilla buffer capacity for fig15buf/contention/factory-sim (0 = infinite)")
 	format := fs.String("format", "text", "output format: text, json or csv")
 	parallel := fs.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = sequential)")
 	progress := fs.Bool("progress", true, "print a job progress line on stderr")
@@ -77,7 +82,7 @@ func run(args []string, out *os.File) error {
 	e.Bits = *bits
 	e.Engine = eng
 	p := core.RunParams{Trials: *trials, Seed: *seed, Buckets: *buckets,
-		MaxScale: *maxScale, Benchmark: *benchName, Arch: *arch}
+		MaxScale: *maxScale, Benchmark: *benchName, Arch: *arch, Buffer: *buffer}
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -143,6 +148,7 @@ func usage(fs *flag.FlagSet) {
 	fmt.Fprintln(os.Stderr, "usage: qsd <experiment> [flags]")
 	fmt.Fprintln(os.Stderr, "       qsd serve [flags]")
 	fmt.Fprintln(os.Stderr, "experiments: table1..table9, fig4, fig7, fig8, fig15, fowler, shor,")
-	fmt.Fprintln(os.Stderr, "             simple-factory, zero-factory, pi8-factory, qalypso, all")
+	fmt.Fprintln(os.Stderr, "             simple-factory, zero-factory, pi8-factory, qalypso, all,")
+	fmt.Fprintln(os.Stderr, "             fig15buf, buffersweep, contention, factory-sim (event-driven)")
 	fs.PrintDefaults()
 }

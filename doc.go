@@ -15,9 +15,12 @@
 //	technology layer      internal/iontrap    — ion-trap latencies and macroblocks (§4.1)
 //	                      internal/layout     — data regions, movement, Qalypso tiles (§4.2, §5.3)
 //	    │
+//	simulation kernel     internal/sim        — deterministic discrete-event kernel: event queue,
+//	    │                                       finite-buffer resources, rate producers
 //	evaluation layer      internal/microarch  — QLA/CQLA/GQLA/GCQLA/fully-multiplexed sim (§5.2)
 //	                      internal/noise      — Monte Carlo / first-order error evaluation (§2.2-2.3)
-//	                      internal/schedule   — critical paths, demand profiles, sweeps (§3.2-3.3)
+//	                      internal/schedule   — critical paths, demand profiles, sweeps,
+//	                                            event-driven replay and contention (§3.2-3.3)
 //	    │
 //	experiment engine     internal/engine     — parallel Job/Result runner: worker pool,
 //	    │                                       deterministic per-job RNG streams, result cache
@@ -35,12 +38,22 @@
 // so parallel runs are byte-identical to sequential ones — `qsd all
 // -parallel 8` and `-parallel 1` print the same report.
 //
+// The simulation layers execute on internal/sim, a deterministic
+// discrete-event kernel.  With infinite buffers its fluid sources reproduce
+// the paper's closed-form token-bucket arithmetic bit for bit (the retained
+// closed forms are the parity oracles, enforced in CI); finite buffers
+// unlock the dynamics the closed forms cannot express — factory pipeline
+// stalls, bursty demand against bounded storage, and co-scheduled
+// benchmarks contending for one shared factory bank (the fig15buf,
+// buffersweep, contention and factory-sim experiments).
+//
 // The cmd/qsd tool regenerates every table and figure of the paper's
 // evaluation — as plain text, JSON or CSV (-format) — and `qsd serve`
 // exposes the same experiments as parameterized HTTP endpoints on a shared
 // engine, so repeated requests hit the result cache and identical
 // concurrent requests coalesce.  The benchmarks in bench_test.go wrap the
-// same experiments for `go test -bench`, including engine speedup benches.
+// same experiments for `go test -bench`, including engine speedup benches
+// and the closed-form vs event-driven comparison that emits BENCH_sim.json.
 // See README.md for the CLI and API reference and ARCHITECTURE.md for the
 // data flow.
 package speedofdata

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"speedofdata/internal/circuits"
@@ -288,11 +289,15 @@ func (e Experiments) Figure15(b circuits.Benchmark, maxScale int) (map[microarch
 // filtered request (e.g. the HTTP API's ?arch=) shares its grid points with
 // full runs through the engine cache.
 func (e Experiments) Figure15Archs(b circuits.Benchmark, maxScale int, archs []microarch.Architecture) (map[microarch.Architecture]microarch.Curve, error) {
-	c, err := circuits.Generate(b, e.Bits)
-	if err != nil {
-		return nil, err
-	}
-	ch, err := schedule.Characterize(c, e.Options.Latency)
+	return e.Figure15Buffered(b, maxScale, archs, 0)
+}
+
+// Figure15Buffered is the finite-buffer form of the Figure 15 grid: every
+// ancilla source keeps at most bufferAncillae encoded zeros in flight (zero
+// buffers infinitely, reproducing the closed-form grid exactly).  Curve
+// points carry the stall and high-water metrics the closed form cannot see.
+func (e Experiments) Figure15Buffered(b circuits.Benchmark, maxScale int, archs []microarch.Architecture, bufferAncillae float64) (map[microarch.Architecture]microarch.Curve, error) {
+	c, ch, err := e.characterizedBenchmark(b)
 	if err != nil {
 		return nil, err
 	}
@@ -300,8 +305,140 @@ func (e Experiments) Figure15Archs(b circuits.Benchmark, maxScale int, archs []m
 	base.Latency = e.Options.Latency
 	base.CacheSlots = 16
 	base.Pi8BandwidthPerMs = ch.Pi8BandwidthPerMs
+	base.BufferAncillae = bufferAncillae
 	return microarch.Figure15Engine(e.ctx(), e.Engine, c,
 		microarch.Figure15Config{Base: base, MaxScale: maxScale, Archs: archs})
+}
+
+// characterizedBenchmark generates one benchmark and its Table 2/3
+// characterisation.
+func (e Experiments) characterizedBenchmark(b circuits.Benchmark) (*quantum.Circuit, schedule.Characterization, error) {
+	c, err := circuits.Generate(b, e.Bits)
+	if err != nil {
+		return nil, schedule.Characterization{}, err
+	}
+	ch, err := schedule.Characterize(c, e.Options.Latency)
+	if err != nil {
+		return nil, schedule.Characterization{}, err
+	}
+	return c, ch, nil
+}
+
+// BufferSweep sweeps the ancilla buffer capacity for one benchmark on one
+// architecture, with the generation resources matched to the benchmark's
+// average demand so the buffer — not raw bandwidth — is the variable under
+// test.  Capacities run through DefaultBufferCaps, ending on the
+// infinite-buffer reference point.
+func (e Experiments) BufferSweep(b circuits.Benchmark, arch microarch.Architecture) ([]microarch.BufferPoint, error) {
+	c, ch, err := e.characterizedBenchmark(b)
+	if err != nil {
+		return nil, err
+	}
+	base := microarch.DefaultConfig(arch)
+	base.Latency = e.Options.Latency
+	base.Pi8BandwidthPerMs = ch.Pi8BandwidthPerMs
+	// Match the aggregate generation rate to the benchmark's average demand:
+	// shared pipelined factories for Fully-Multiplexed, replicated simple
+	// generators per site for the generator-based organisations.
+	switch arch {
+	case microarch.FullyMultiplexed:
+		pipe := factory.PipelinedZeroFactory(e.Options.Tech)
+		if n := pipe.CountForBandwidth(ch.ZeroBandwidthPerMs); n > base.SharedFactories {
+			base.SharedFactories = n
+		}
+	default:
+		perGen := factory.SimpleZeroFactory{Tech: e.Options.Tech}.ThroughputPerMs()
+		sites := c.NumQubits
+		if arch == microarch.CQLA || arch == microarch.GCQLA {
+			sites = base.CacheSlots
+		}
+		if perGen > 0 && sites > 0 {
+			if n := int(math.Ceil(ch.ZeroBandwidthPerMs / (perGen * float64(sites)))); n > base.GeneratorsPerQubit {
+				base.GeneratorsPerQubit = n
+			}
+		}
+	}
+	return microarch.BufferSweepEngine(e.ctx(), e.Engine, c, base, microarch.DefaultBufferCaps())
+}
+
+// ContentionLevel is one shared-supply operating point of the co-scheduling
+// scenario: every benchmark replayed concurrently against one factory bank.
+type ContentionLevel struct {
+	// DemandFraction is the supply rate as a fraction of the benchmarks'
+	// aggregate average zero-ancilla demand.
+	DemandFraction float64
+	// Supply is the configured shared supply.
+	Supply schedule.Supply
+	// Run holds the per-benchmark results and the shared-buffer statistics.
+	Run schedule.ReplayRun
+}
+
+// DefaultContentionFractions are the supply levels of the contention
+// scenario, as fractions of the aggregate average demand.
+var DefaultContentionFractions = []float64{0.25, 0.5, 1, 2}
+
+// Contention co-schedules the paper's three benchmarks against one shared
+// encoded-zero supply at several provisioning levels, one engine job per
+// level.  bufferAncillae bounds the supply's output buffer (zero =
+// infinite).  Even at 100% of the aggregate average demand the benchmarks
+// interfere: demand is bursty, and a neighbour's burst steals headroom.
+func (e Experiments) Contention(bufferAncillae float64) ([]ContentionLevel, error) {
+	ctx := e.ctx()
+	cs, err := e.generateBenchmarks(ctx)
+	if err != nil {
+		return nil, err
+	}
+	chs, err := schedule.CharacterizeAll(ctx, e.Engine, cs, e.Options.Latency)
+	if err != nil {
+		return nil, err
+	}
+	demand := 0.0
+	for _, ch := range chs {
+		demand += ch.ZeroBandwidthPerMs
+	}
+	m := e.Options.Latency
+	jobs := make([]engine.Job[ContentionLevel], len(DefaultContentionFractions))
+	for i, frac := range DefaultContentionFractions {
+		frac := frac
+		supply := schedule.Supply{RatePerMs: demand * frac, BufferAncillae: bufferAncillae}
+		jobs[i] = engine.Job[ContentionLevel]{
+			Key: engine.Fingerprint("core.contention", e.Bits, m, supply),
+			Run: func(context.Context, *rand.Rand) (ContentionLevel, error) {
+				run, err := schedule.ReplayShared(cs, m, supply)
+				if err != nil {
+					return ContentionLevel{}, err
+				}
+				return ContentionLevel{DemandFraction: frac, Supply: supply, Run: run}, nil
+			},
+		}
+	}
+	return engine.Run(ctx, e.Engine, jobs)
+}
+
+// FactoryPipelineHorizonMs is the simulated duration of the factory-sim
+// scenario: long enough for both pipelines to reach their steady state.
+const FactoryPipelineHorizonMs = 50
+
+// FactoryPipelines runs the event-driven pipeline simulation of the zero and
+// π/8 factories, one engine job each, with the given inter-stage buffer
+// capacity in physical qubits (zero = unbounded crossbars).
+func (e Experiments) FactoryPipelines(bufferQubits float64) (zero, pi8 factory.PipelineRun, err error) {
+	designs := []factory.Design{factory.PipelinedZeroFactory(e.Options.Tech), factory.Pi8Factory(e.Options.Tech)}
+	jobs := make([]engine.Job[factory.PipelineRun], len(designs))
+	for i, d := range designs {
+		d := d
+		jobs[i] = engine.Job[factory.PipelineRun]{
+			Key: engine.Fingerprint("core.factorysim", d.Name, e.Options.Tech, bufferQubits),
+			Run: func(context.Context, *rand.Rand) (factory.PipelineRun, error) {
+				return factory.SimulatePipeline(d, FactoryPipelineHorizonMs, bufferQubits)
+			},
+		}
+	}
+	runs, err := engine.Run(e.ctx(), e.Engine, jobs)
+	if err != nil {
+		return factory.PipelineRun{}, factory.PipelineRun{}, err
+	}
+	return runs[0], runs[1], nil
 }
 
 // FowlerResult summarises the Section 2.5 rotation-synthesis machinery.

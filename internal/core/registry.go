@@ -36,7 +36,15 @@ type RunParams struct {
 	Benchmark string
 	// Arch optionally restricts fig15 to one architecture ("" = all).
 	Arch string
+	// Buffer is the ancilla buffer capacity for the finite-buffer scenarios
+	// (fig15buf, contention: encoded ancillae per source; factory-sim:
+	// physical qubits per crossbar).  Zero means infinite.
+	Buffer int
 }
+
+// DefaultBufferAncillae is the standard finite buffer capacity of the
+// event-driven scenarios, in encoded ancillae per source.
+const DefaultBufferAncillae = 16
 
 // DefaultRunParams returns the paper's standard settings.
 func DefaultRunParams() RunParams {
@@ -46,6 +54,7 @@ func DefaultRunParams() RunParams {
 		Buckets:   schedule.DefaultDemandBuckets,
 		MaxScale:  microarch.DefaultMaxScale,
 		Benchmark: circuits.QCLA.String(),
+		Buffer:    DefaultBufferAncillae,
 	}
 }
 
@@ -67,6 +76,9 @@ func (p RunParams) Validate() error {
 		if _, err := microarch.ParseArchitecture(p.Arch); err != nil {
 			return err
 		}
+	}
+	if p.Buffer < 0 {
+		return fmt.Errorf("buffer must be non-negative (0 = infinite), got %d", p.Buffer)
 	}
 	return nil
 }
@@ -149,6 +161,34 @@ var registry = map[string]experiment{
 		info: ExperimentInfo{ID: "fig15", Title: "Figure 15: execution time vs ancilla factory area", Aliases: []string{"figure15"}, Params: []string{"bits", "benchmark", "max-scale", "arch"}},
 		render: func(e Experiments, p RunParams) (report.Section, error) {
 			return renderFigure15(e, p.Benchmark, p.MaxScale, p.Arch)
+		},
+	},
+	"fig15buf": {
+		info: ExperimentInfo{ID: "fig15buf", Title: "Figure 15 with finite ancilla buffers (event-driven)",
+			Aliases: []string{"figure15-buffered"}, Params: []string{"bits", "benchmark", "max-scale", "arch", "buffer"}},
+		render: func(e Experiments, p RunParams) (report.Section, error) {
+			return renderFigure15Buffered(e, p.Benchmark, p.MaxScale, p.Arch, p.Buffer)
+		},
+	},
+	"buffersweep": {
+		info: ExperimentInfo{ID: "buffersweep", Title: "Ancilla buffer capacity sweep (event-driven)",
+			Aliases: []string{"buffer-sweep"}, Params: []string{"bits", "benchmark", "arch"}},
+		render: func(e Experiments, p RunParams) (report.Section, error) {
+			return renderBufferSweep(e, p.Benchmark, p.Arch)
+		},
+	},
+	"contention": {
+		info: ExperimentInfo{ID: "contention", Title: "Co-scheduled benchmarks contending for one shared ancilla supply",
+			Aliases: []string{"co-schedule"}, Params: []string{"bits", "buffer"}},
+		render: func(e Experiments, p RunParams) (report.Section, error) {
+			return renderContention(e, p.Buffer)
+		},
+	},
+	"factory-sim": {
+		info: ExperimentInfo{ID: "factory-sim", Title: "Event-driven factory pipelines: measured vs bandwidth-matched throughput",
+			Aliases: []string{"pipeline-sim"}, Params: []string{"buffer"}},
+		render: func(e Experiments, p RunParams) (report.Section, error) {
+			return renderFactorySim(e, p.Buffer)
 		},
 	},
 	"fowler": {
@@ -432,17 +472,9 @@ func renderFigure8(e Experiments) (report.Section, error) {
 }
 
 func renderFigure15(e Experiments, benchName string, maxScale int, archName string) (report.Section, error) {
-	bench, err := circuits.ParseBenchmark(benchName)
+	bench, archs, err := parseFig15Selection(benchName, archName)
 	if err != nil {
 		return report.Section{}, err
-	}
-	archs := microarch.Architectures()
-	if archName != "" {
-		arch, err := microarch.ParseArchitecture(archName)
-		if err != nil {
-			return report.Section{}, err
-		}
-		archs = []microarch.Architecture{arch}
 	}
 	curves, err := e.Figure15Archs(bench, maxScale, archs)
 	if err != nil {
@@ -458,6 +490,129 @@ func renderFigure15(e Experiments, benchName string, maxScale int, archName stri
 		}
 	}
 	return report.NewSection("", tb), nil
+}
+
+// parseFig15Selection resolves the benchmark and optional architecture filter
+// shared by the fig15 and fig15buf renderers.
+func parseFig15Selection(benchName, archName string) (circuits.Benchmark, []microarch.Architecture, error) {
+	bench, err := circuits.ParseBenchmark(benchName)
+	if err != nil {
+		return 0, nil, err
+	}
+	archs := microarch.Architectures()
+	if archName != "" {
+		arch, err := microarch.ParseArchitecture(archName)
+		if err != nil {
+			return 0, nil, err
+		}
+		archs = []microarch.Architecture{arch}
+	}
+	return bench, archs, nil
+}
+
+func renderFigure15Buffered(e Experiments, benchName string, maxScale int, archName string, buffer int) (report.Section, error) {
+	bench, archs, err := parseFig15Selection(benchName, archName)
+	if err != nil {
+		return report.Section{}, err
+	}
+	curves, err := e.Figure15Buffered(bench, maxScale, archs, float64(buffer))
+	if err != nil {
+		return report.Section{}, err
+	}
+	tb := report.Table{
+		Title: fmt.Sprintf("Figure 15, event-driven with %s-ancilla buffers (%d-bit %s)",
+			bufferLabel(buffer), e.Bits, bench),
+		Headers: []string{"Architecture", "Scale", "Factory area (macroblocks)", "Execution time (ms)",
+			"Ancilla stall (ms)", "Buffer high water"},
+	}
+	for _, arch := range archs {
+		for _, p := range curves[arch].Points {
+			tb.AddRow(arch.String(), p.Scale, p.AreaMacroblocks, p.ExecutionTimeMs,
+				p.AncillaStallMs, p.BufferHighWater)
+		}
+	}
+	return report.NewSection("", tb), nil
+}
+
+func renderBufferSweep(e Experiments, benchName, archName string) (report.Section, error) {
+	bench, err := circuits.ParseBenchmark(benchName)
+	if err != nil {
+		return report.Section{}, err
+	}
+	arch := microarch.FullyMultiplexed
+	if archName != "" {
+		if arch, err = microarch.ParseArchitecture(archName); err != nil {
+			return report.Section{}, err
+		}
+	}
+	points, err := e.BufferSweep(bench, arch)
+	if err != nil {
+		return report.Section{}, err
+	}
+	tb := report.Table{
+		Title: fmt.Sprintf("Ancilla buffer sweep (%d-bit %s on %v, demand-matched supply)", e.Bits, bench, arch),
+		Headers: []string{"Buffer (ancillae)", "Execution time (ms)", "Ancilla stall (ms)",
+			"Producer stall (ms)", "Buffer high water", "Kernel events"},
+	}
+	for _, p := range points {
+		tb.AddRow(bufferLabel(int(p.BufferAncillae)), p.ExecutionTimeMs, p.AncillaStallMs,
+			p.ProducerStallMs, p.BufferHighWater, p.Events)
+	}
+	note := report.Text("The final row is the infinite-buffer (closed-form) reference the finite capacities converge to.\n")
+	return report.NewSection("", tb, note), nil
+}
+
+func renderContention(e Experiments, buffer int) (report.Section, error) {
+	levels, err := e.Contention(float64(buffer))
+	if err != nil {
+		return report.Section{}, err
+	}
+	tb := report.Table{
+		Title: fmt.Sprintf("Co-scheduled benchmarks on one shared zero-ancilla supply (%d-bit, %s-ancilla buffer)",
+			e.Bits, bufferLabel(buffer)),
+		Headers: []string{"Supply (x avg demand)", "Rate (anc/ms)", "Benchmark", "Exec (ms)",
+			"Speed-of-data (ms)", "Slowdown", "Ancilla wait (ms)", "Producer stall (ms)"},
+	}
+	for _, lv := range levels {
+		for _, r := range lv.Run.Results {
+			tb.AddRow(fmt.Sprintf("%.2fx", lv.DemandFraction), lv.Supply.RatePerMs, r.Name,
+				r.ExecutionTime.Milliseconds(), r.SpeedOfData.Milliseconds(), r.Slowdown(),
+				r.AncillaWait.Milliseconds(), lv.Run.ProducerStall.Milliseconds())
+		}
+	}
+	note := report.Text("Each supply level replays all benchmarks concurrently against one factory bank; " +
+		"bursty neighbours steal headroom even when the average supply matches the average demand.\n")
+	return report.NewSection("", tb, note), nil
+}
+
+func renderFactorySim(e Experiments, buffer int) (report.Section, error) {
+	zero, pi8, err := e.FactoryPipelines(float64(buffer))
+	if err != nil {
+		return report.Section{}, err
+	}
+	var blocks []report.Block
+	for _, r := range []factory.PipelineRun{zero, pi8} {
+		tb := report.Table{
+			Title: fmt.Sprintf("Event-driven %s (%v ms horizon, %s-qubit crossbar buffers)",
+				r.Name, r.HorizonMs, bufferLabel(int(r.BufferQubits))),
+			Headers: []string{"Stage", "Unit", "Count", "Ops", "Starve (ms)", "Stall (ms)", "Busy"},
+		}
+		for _, s := range r.Stages {
+			tb.AddRow(s.Stage, s.Unit, s.Count, s.Ops, s.StarveMs, s.StallMs, s.BusyFrac)
+		}
+		foot := report.Text(fmt.Sprintf("measured %.2f encoded ancillae/ms vs bandwidth-matched %.2f/ms (%d kernel events)\n\n",
+			r.MeasuredPerMs, r.AnalyticPerMs, r.Events))
+		blocks = append(blocks, tb, foot)
+	}
+	return report.Section{Blocks: blocks}, nil
+}
+
+// bufferLabel renders a buffer capacity, spelling out the infinite case.
+func bufferLabel(buffer int) string {
+	if buffer <= 0 {
+		return "infinite"
+	}
+	return fmt.Sprintf("%d", buffer)
 }
 
 func renderFowler(e Experiments) (report.Section, error) {

@@ -130,3 +130,75 @@ func TestRunReportDeterministic(t *testing.T) {
 		t.Error("unknown id in batch should error")
 	}
 }
+
+// TestEventDrivenScenarioSections runs the new event-driven scenarios end to
+// end at a small width and checks they render and honour their parameters.
+func TestEventDrivenScenarioSections(t *testing.T) {
+	e := NewExperiments()
+	e.Bits = 4
+	p := DefaultRunParams()
+	p.MaxScale = 4
+	p.Arch = "fm"
+	for _, id := range []string{"fig15buf", "buffersweep", "contention", "factory-sim"} {
+		sec, err := RunExperiment(e, id, p)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if sec.ID != id || sec.Text() == "" {
+			t.Errorf("%s: empty or mislabelled section", id)
+		}
+	}
+	// Aliases resolve.
+	for alias, want := range map[string]string{
+		"figure15-buffered": "fig15buf",
+		"buffer-sweep":      "buffersweep",
+		"co-schedule":       "contention",
+		"pipeline-sim":      "factory-sim",
+	} {
+		got, ok := CanonicalExperimentID(alias)
+		if !ok || got != want {
+			t.Errorf("alias %q resolved to %q, %v; want %q", alias, got, ok, want)
+		}
+	}
+	// The finite buffer must show up in the rendered output.
+	sec, err := RunExperiment(e, "fig15buf", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sec.Text(), "16-ancilla buffers") {
+		t.Errorf("fig15buf should mention the default 16-ancilla buffer:\n%s", sec.Text())
+	}
+	// Negative buffer is rejected by parameter validation.
+	bad := p
+	bad.Buffer = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative buffer should fail validation")
+	}
+}
+
+// The contention scenario's per-benchmark slowdowns must ease monotonically
+// as the shared supply grows.
+func TestContentionSlowdownEasesWithSupply(t *testing.T) {
+	e := NewExperiments()
+	e.Bits = 4
+	levels, err := e.Contention(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != len(DefaultContentionFractions) {
+		t.Fatalf("got %d levels, want %d", len(levels), len(DefaultContentionFractions))
+	}
+	for bench := range levels[0].Run.Results {
+		prev := -1.0
+		for _, lv := range levels {
+			s := lv.Run.Results[bench].Slowdown()
+			if s < 1-1e-9 {
+				t.Errorf("%s at %.2fx: slowdown %v below 1", lv.Run.Results[bench].Name, lv.DemandFraction, s)
+			}
+			if prev > 0 && s > prev*1.0001 {
+				t.Errorf("%s: slowdown rose with more supply: %v -> %v", lv.Run.Results[bench].Name, prev, s)
+			}
+			prev = s
+		}
+	}
+}

@@ -29,7 +29,10 @@ func Pi8FactoryUnits() []FunctionalUnit {
 				iontrap.OpTwoQubitGate, 3, iontrap.OpTurn, 2, iontrap.OpStraightMove, 3),
 			InternalStages: 1,
 			QubitsIn:       2 * steane.N, QubitsOut: 2 * steane.N,
-			Height: 7, Area: 7,
+			// Half the input is the encoded zero supplied by a zero factory,
+			// not by the preceding cat-prepare stage.
+			ExternalIn: steane.N,
+			Height:     7, Area: 7,
 		},
 		{
 			Name: "Decode (plus Store)",

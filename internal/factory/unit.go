@@ -28,6 +28,13 @@ type FunctionalUnit struct {
 	// QubitsIn and QubitsOut are the physical qubits consumed and produced
 	// per operation.
 	QubitsIn, QubitsOut int
+	// ExternalIn is the portion of QubitsIn supplied from outside the
+	// factory's own pipeline rather than by the preceding stage (the π/8
+	// factory's transversal stage receives an encoded zero from a zero
+	// factory this way).  The bandwidth tables count it as input bandwidth;
+	// the event-driven pipeline simulation does not charge it to the
+	// upstream crossbar buffer.
+	ExternalIn int
 	// SuccessRate scales the output bandwidth for units that discard some of
 	// their product (verification keeps ~99.8% of encoded ancillae).
 	SuccessRate float64
@@ -78,6 +85,9 @@ func (u FunctionalUnit) Validate() error {
 	}
 	if u.QubitsIn <= 0 || u.QubitsOut <= 0 {
 		return fmt.Errorf("factory: unit %q has non-positive qubit flow", u.Name)
+	}
+	if u.ExternalIn < 0 || u.ExternalIn > u.QubitsIn {
+		return fmt.Errorf("factory: unit %q external input %d outside [0, %d]", u.Name, u.ExternalIn, u.QubitsIn)
 	}
 	if u.SuccessRate < 0 || u.SuccessRate > 1 {
 		return fmt.Errorf("factory: unit %q has success rate %v outside [0,1]", u.Name, u.SuccessRate)

@@ -298,3 +298,57 @@ func TestNewSearcherPanics(t *testing.T) {
 	}()
 	NewSearcher(0)
 }
+
+// Edge cases: searches whose enumerated state space offers no candidate
+// within the requested precision, and degenerate searcher bounds.
+func TestSearcherWithNoCandidateWithinEps(t *testing.T) {
+	// MaxStates=1 stops enumeration at the identity: the only candidate.
+	s := NewSearcher(3)
+	s.MaxStates = 1
+	seq, within := s.ApproximateRz(4, 1e-6)
+	if within {
+		t.Error("the identity alone cannot approximate Rz(pi/16) to 1e-6")
+	}
+	if seq.Len() != 0 {
+		t.Errorf("closest candidate should be the empty sequence, got %q", seq.Gates)
+	}
+	if seq.Error <= 0 {
+		t.Errorf("the fallback candidate must report its achieved error, got %v", seq.Error)
+	}
+	if s.StateCount() != 1 {
+		t.Errorf("state count = %d, want 1", s.StateCount())
+	}
+}
+
+func TestSearcherUnreachablePrecisionReturnsClosest(t *testing.T) {
+	// A tiny gate budget cannot reach 1e-9 for a generic rotation; the
+	// search must fall back to its best candidate rather than fail.
+	s := NewSearcher(2)
+	seq, within := s.ApproximateRz(5, 1e-9)
+	if within {
+		t.Error("a 2-gate budget should not reach 1e-9 precision")
+	}
+	if seq.Error <= 0 || seq.Error > 2 {
+		t.Errorf("achieved error %v outside the unitary distance range", seq.Error)
+	}
+	// The reported matrix must be consistent with the reported gate string.
+	m := Identity()
+	for _, g := range seq.Gates {
+		switch g {
+		case 'H':
+			m = Mul(HGate(), m)
+		case 'T':
+			m = Mul(TGate(), m)
+		}
+	}
+	if d := Distance(m, seq.Matrix); d > 1e-12 {
+		t.Errorf("sequence matrix inconsistent with gate string: distance %v", d)
+	}
+}
+
+func TestEmptySequenceCounts(t *testing.T) {
+	var seq Sequence
+	if seq.Len() != 0 || seq.TCount() != 0 {
+		t.Errorf("empty sequence counts = %d/%d, want 0/0", seq.Len(), seq.TCount())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"speedofdata/internal/iontrap"
+	"speedofdata/internal/steane"
 )
 
 func TestDataRegionAreaMatchesTable9(t *testing.T) {
@@ -171,5 +172,69 @@ func TestQalypsoProvisioningProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Edge cases: empty circuits, single-qubit layouts, zero demand.
+func TestDataRegionAreaEdgeCases(t *testing.T) {
+	if DataRegionArea(0) != 0 {
+		t.Error("an empty circuit needs no data region")
+	}
+	if DataRegionArea(-3) != 0 {
+		t.Error("negative qubit counts clamp to zero area")
+	}
+	if DataRegionArea(1) != iontrap.Area(steane.N) {
+		t.Errorf("a single logical qubit occupies %d macroblocks, got %v", steane.N, DataRegionArea(1))
+	}
+}
+
+func TestDefaultMovementModelDegenerateRegion(t *testing.T) {
+	tech := iontrap.Default()
+	// Region sizes at and below one qubit clamp to the single-qubit layout.
+	one := DefaultMovementModel(tech, 1)
+	zero := DefaultMovementModel(tech, 0)
+	neg := DefaultMovementModel(tech, -5)
+	if one != zero || one != neg {
+		t.Errorf("degenerate regions should clamp to the 1-qubit model: %+v / %+v / %+v", one, zero, neg)
+	}
+	if one.BallisticPerGateUs <= 0 || one.TeleportUs <= one.BallisticPerGateUs {
+		t.Errorf("single-qubit model not physical: %+v", one)
+	}
+	if err := one.Validate(); err != nil {
+		t.Errorf("single-qubit model invalid: %v", err)
+	}
+}
+
+func TestPlanTileSingleQubitZeroDemand(t *testing.T) {
+	tech := iontrap.Default()
+	tile, err := PlanTile(tech, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tile.ZeroFactories != 0 || tile.Pi8Factories != 0 {
+		t.Errorf("zero demand should provision no factories: %+v", tile)
+	}
+	if tile.TotalArea() != tile.DataArea() {
+		t.Errorf("a factory-less tile is all data: total %v, data %v", tile.TotalArea(), tile.DataArea())
+	}
+	if tile.ZeroBandwidthPerMs() != 0 || tile.Pi8BandwidthPerMs() != 0 {
+		t.Errorf("no factories, no bandwidth: %+v", tile)
+	}
+}
+
+func TestPlanQalypsoSingleQubit(t *testing.T) {
+	tech := iontrap.Default()
+	q, err := PlanQalypso(tech, 1, 32, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tiles) != 1 {
+		t.Fatalf("one qubit fits one tile, got %d", len(q.Tiles))
+	}
+	if q.Tiles[0].DataQubits != 1 {
+		t.Errorf("tile should hold the single qubit: %+v", q.Tiles[0])
+	}
+	if q.ZeroBandwidthPerMs() < 5 {
+		t.Errorf("tile under-provisioned: %v < 5", q.ZeroBandwidthPerMs())
 	}
 }

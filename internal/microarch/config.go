@@ -100,6 +100,13 @@ type Config struct {
 	// demand so the reported factory area can include the π/8 encoders and
 	// their feed factories (Table 9 accounting); zero omits them.
 	Pi8BandwidthPerMs float64
+
+	// BufferAncillae bounds each ancilla source's output buffer, in encoded
+	// ancillae.  Zero (the default) buffers infinitely, reproducing the
+	// paper's closed-form token-bucket model bit for bit; a positive
+	// capacity switches the simulation to finite-buffer dynamics where
+	// production stalls when the buffer fills.
+	BufferAncillae float64
 }
 
 // DefaultConfig returns a configuration for the given architecture with the
@@ -145,6 +152,9 @@ func (c Config) Validate() error {
 	}
 	if c.Pi8BandwidthPerMs < 0 {
 		return fmt.Errorf("microarch: negative π/8 bandwidth")
+	}
+	if c.BufferAncillae < 0 {
+		return fmt.Errorf("microarch: negative ancilla buffer capacity %v", c.BufferAncillae)
 	}
 	return nil
 }

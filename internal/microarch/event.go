@@ -1,0 +1,155 @@
+package microarch
+
+import (
+	"fmt"
+
+	"speedofdata/internal/iontrap"
+	"speedofdata/internal/quantum"
+	"speedofdata/internal/sim"
+)
+
+// simulateEvents is the event-driven core behind Simulate: the circuit's
+// dataflow graph executes on a sim.Kernel, with gate completions as events
+// and a late-priority dispatcher that issues newly ready gates in (readiness,
+// gate index) order — the same order the closed form uses, so with infinite
+// buffers (the fluid sources) the two models perform identical arithmetic
+// and produce bit-identical results.
+//
+// With cfg.BufferAncillae > 0 each ancilla source becomes a finite
+// sim.Resource fed by a rate-matched sim.Producer: gates drain the buffer
+// (stalling until their demand is delivered) and producers stall when the
+// buffer fills, which is the dynamics the closed form cannot express.
+func simulateEvents(c *quantum.Circuit, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Arch: cfg.Arch, AncillaFactoryArea: cfg.AncillaFactoryArea(c.NumQubits)}
+	if len(c.Gates) == 0 {
+		return res, nil
+	}
+
+	dag := quantum.BuildDAG(c)
+	n := len(c.Gates)
+	rates, err := sourceRates(cfg, c.NumQubits)
+	if err != nil {
+		return Result{}, err
+	}
+
+	k := sim.NewKernel()
+	model := newCostModel(cfg, &res)
+	fluid := cfg.BufferAncillae <= 0
+	var fluidSrcs []*sim.FluidSource
+	var buffers []*sim.Resource
+	var producers []*sim.Producer
+	if fluid {
+		fluidSrcs = make([]*sim.FluidSource, len(rates))
+		for i, r := range rates {
+			if fluidSrcs[i], err = sim.NewFluidSource(r); err != nil {
+				return Result{}, err
+			}
+		}
+	} else {
+		buffers = make([]*sim.Resource, len(rates))
+		producers = make([]*sim.Producer, len(rates))
+		for i, r := range rates {
+			name := fmt.Sprintf("%v ancilla source %d", cfg.Arch, i)
+			buffers[i] = sim.NewResource(k, name, cfg.BufferAncillae)
+			if producers[i], err = sim.NewProducer(k, name, buffers[i], r, 1); err != nil {
+				return Result{}, err
+			}
+			producers[i].Start()
+		}
+	}
+
+	ready := make([]float64, n)
+	indeg := make([]int, n)
+	copy(indeg, dag.InDegree)
+
+	rq := &sim.TaskQueue{}
+	finished := 0
+	makespan := 0.0
+	stall := 0.0
+	dispatchScheduled := false
+
+	var dispatch func()
+	scheduleDispatch := func() {
+		if !dispatchScheduled {
+			dispatchScheduled = true
+			k.At(k.Now(), sim.PriorityLate, dispatch)
+		}
+	}
+	finishGate := func(gi int, finishAt float64) {
+		if finishAt > makespan {
+			makespan = finishAt
+		}
+		k.At(iontrap.Microseconds(finishAt), sim.PriorityNormal, func() {
+			finished++
+			for _, s := range dag.Succ[gi] {
+				if finishAt > ready[s] {
+					ready[s] = finishAt
+				}
+				indeg[s]--
+				if indeg[s] == 0 {
+					rq.Push(sim.Task{Index: s, Ready: ready[s]})
+					scheduleDispatch()
+				}
+			}
+			if finished == n {
+				// The workload is done; drop any still-ticking producers.
+				k.Stop()
+			}
+		})
+	}
+	dispatch = func() {
+		dispatchScheduled = false
+		for rq.Len() > 0 {
+			item := rq.Pop()
+			gi := item.Index
+			start := item.Ready
+			site, extraLatency, ancillae := model.dispatch(c.Gates[gi])
+			weight := float64(cfg.Latency.GateWeightSpeedOfData(c.Gates[gi]))
+			if fluid {
+				issue := start
+				if t := fluidSrcs[site].AvailableAt(ancillae); t > issue {
+					issue = t
+				}
+				stall += issue - start
+				finishGate(gi, issue+extraLatency+weight)
+			} else {
+				buffers[site].Acquire(ancillae, func() {
+					issue := float64(k.Now())
+					stall += issue - start
+					finishGate(gi, issue+extraLatency+weight)
+				})
+			}
+		}
+	}
+
+	for i, d := range indeg {
+		if d == 0 {
+			rq.Push(sim.Task{Index: i, Ready: 0})
+		}
+	}
+	k.At(0, sim.PriorityLate, dispatch)
+	dispatchScheduled = true
+	stats := k.Run()
+
+	if finished != n {
+		return Result{}, fmt.Errorf("microarch: dependence graph of %q is cyclic", c.Name)
+	}
+	res.ExecutionTime = iontrap.Microseconds(makespan)
+	res.AncillaStallTime = iontrap.Microseconds(stall)
+	res.Events = stats.Events
+	for _, b := range buffers {
+		if b.HighWater() > res.BufferHighWater {
+			res.BufferHighWater = b.HighWater()
+		}
+	}
+	for _, p := range producers {
+		res.ProducerStallTime += p.StallTime()
+	}
+	return res, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"speedofdata/internal/iontrap"
 	"speedofdata/internal/quantum"
+	"speedofdata/internal/sim"
 )
 
 // Result summarises one simulation run.
@@ -22,28 +23,24 @@ type Result struct {
 	CacheMisses int
 	// AncillaeConsumed counts encoded zero ancillae drawn from generators.
 	AncillaeConsumed int
+
+	// AncillaStallTime is the total time gates spent waiting on encoded
+	// ancilla availability beyond data readiness, summed over gates.
+	AncillaStallTime iontrap.Microseconds
+	// BufferHighWater is the peak buffered ancilla level across the
+	// configuration's sources (finite-buffer event-driven runs only; the
+	// fluid infinite-buffer model has no buffer to measure).
+	BufferHighWater float64
+	// ProducerStallTime is the total time ancilla producers spent blocked on
+	// full buffers, summed over sources (finite-buffer runs only).
+	ProducerStallTime iontrap.Microseconds
+	// Events is the number of kernel events the event-driven simulator
+	// processed (zero for the closed form).
+	Events int
 }
 
 // ExecutionTimeMs is the makespan in milliseconds.
 func (r Result) ExecutionTimeMs() float64 { return r.ExecutionTime.Milliseconds() }
-
-// pool is a token-bucket ancilla source: production accumulates at a steady
-// rate and consumption is tracked cumulatively, so the time at which the n-th
-// ancilla becomes available is n/rate.
-type pool struct {
-	ratePerUs float64
-	consumed  float64
-}
-
-// acquire reserves n ancillae and returns the earliest time they are all
-// available.
-func (p *pool) acquire(n float64) float64 {
-	p.consumed += n
-	if p.ratePerUs <= 0 {
-		return math.Inf(1)
-	}
-	return p.consumed / p.ratePerUs
-}
 
 // lruCache is the CQLA compute cache: a fixed number of data-qubit slots with
 // least-recently-used replacement.
@@ -80,18 +77,144 @@ func (c *lruCache) touch(q int) (miss, evicted bool) {
 	return miss, evicted
 }
 
+// sourceRates returns the per-source ancilla production rate (ancillae per
+// microsecond) for the configuration: one source per data qubit for QLA and
+// GQLA, a single shared source for the cache- and factory-based
+// organisations.  A non-positive rate — nothing would ever be produced — is
+// reported as sim.ErrZeroRate instead of letting +Inf availability times
+// propagate into results.
+func sourceRates(cfg Config, nQubits int) ([]float64, error) {
+	perQubitRate := cfg.generatorRatePerMs() / 1000.0 * float64(cfg.GeneratorsPerQubit)
+	var rates []float64
+	switch cfg.Arch {
+	case QLA, GQLA:
+		rates = make([]float64, nQubits)
+		for i := range rates {
+			rates[i] = perQubitRate
+		}
+	case CQLA, GCQLA:
+		rates = []float64{perQubitRate * float64(cfg.CacheSlots)}
+	case FullyMultiplexed:
+		rates = []float64{cfg.sharedFactoryRatePerMs() / 1000.0 * float64(cfg.SharedFactories)}
+	}
+	for _, r := range rates {
+		if !(r > 0) {
+			return nil, fmt.Errorf("microarch: %v ancilla generation rate %v/µs: %w", cfg.Arch, r, sim.ErrZeroRate)
+		}
+	}
+	return rates, nil
+}
+
+// costModel computes the per-gate movement latency and ancilla demand for an
+// architecture, mutating the compute-cache state and the result counters as
+// gates dispatch.  Both the closed-form and the event-driven simulators call
+// it with gates in the same order, which keeps their arithmetic — and
+// therefore their results — identical.
+type costModel struct {
+	cfg   Config
+	cache *lruCache
+	res   *Result
+
+	perQEC       float64
+	teleportCost float64
+	teleportUs   float64
+	ballisticUs  float64
+}
+
+func newCostModel(cfg Config, res *Result) *costModel {
+	m := &costModel{
+		cfg:          cfg,
+		res:          res,
+		perQEC:       float64(cfg.Latency.ZeroAncillaePerQEC),
+		teleportCost: float64(cfg.Movement.TeleportAncillae),
+		teleportUs:   float64(cfg.Movement.TeleportUs),
+		ballisticUs:  float64(cfg.Movement.BallisticPerGateUs),
+	}
+	if cfg.Arch == CQLA || cfg.Arch == GCQLA {
+		m.cache = newLRUCache(cfg.CacheSlots)
+	}
+	return m
+}
+
+// dispatch accounts one gate: the source it draws ancillae from, the extra
+// movement latency, and the encoded ancillae consumed.  It must be called in
+// issue order (the cache state is order-sensitive).
+func (m *costModel) dispatch(g quantum.Gate) (site int, extraLatency, ancillae float64) {
+	ancillae = m.perQEC
+	switch m.cfg.Arch {
+	case QLA, GQLA:
+		// Two-qubit gates teleport the first operand to the second's home
+		// cell and back; QEC and teleport ancillae come from the execution
+		// site's dedicated generator.
+		site = g.Qubits[len(g.Qubits)-1]
+		if g.Kind.Arity() >= 2 {
+			extraLatency += 2 * m.teleportUs
+			ancillae += 2 * m.teleportCost
+			m.res.Teleports += 2
+		}
+	case CQLA, GCQLA:
+		// Every operand must be resident in the compute cache; misses cost a
+		// fetch teleport (plus a writeback teleport when a slot must be
+		// evicted) and the associated ancillae.
+		for _, q := range g.Qubits {
+			miss, evicted := m.cache.touch(q)
+			if miss {
+				m.res.CacheMisses++
+				extraLatency += m.teleportUs
+				ancillae += m.teleportCost
+				m.res.Teleports++
+				if evicted {
+					extraLatency += m.teleportUs
+					ancillae += m.teleportCost
+					m.res.Teleports++
+				}
+			}
+		}
+		if g.Kind.Arity() >= 2 {
+			extraLatency += m.ballisticUs
+		}
+	case FullyMultiplexed:
+		// Encoded ancillae are distributed from the shared factories to
+		// wherever they are needed; data moves ballistically inside its
+		// dense region.
+		if g.Kind.Arity() >= 2 {
+			extraLatency += m.ballisticUs
+		}
+	}
+	m.res.AncillaeConsumed += int(math.Round(ancillae))
+	return site, extraLatency, ancillae
+}
+
 // Simulate runs the dataflow simulation of a logical circuit on the selected
 // microarchitecture.  Gates issue in first-come-first-served order of data
-// readiness; each gate waits for its operands, for any required data movement
-// (ballistic, teleportation, or cache fetch/writeback), and for the encoded
-// ancillae its QEC step and teleports consume, drawn from the architecture's
-// generator pools.
+// readiness (ties broken by gate index); each gate waits for its operands,
+// for any required data movement (ballistic, teleportation, or cache
+// fetch/writeback), and for the encoded ancillae its QEC step and teleports
+// consume, drawn from the architecture's generator sources.
+//
+// Simulate executes on the discrete-event kernel of internal/sim and honours
+// cfg.BufferAncillae: zero buffers the generators infinitely (the paper's
+// closed-form token-bucket model, reproduced bit for bit — see
+// SimulateClosedForm), a positive capacity bounds each source's buffer so
+// production stalls when it fills and gates stall when it empties.
 func Simulate(c *quantum.Circuit, cfg Config) (Result, error) {
+	return simulateEvents(c, cfg)
+}
+
+// SimulateClosedForm is the original analytical model: list scheduling
+// against infinitely buffered token-bucket ancilla sources, with no event
+// kernel.  It is retained as the parity oracle for the event-driven
+// simulator — with infinite buffers the two produce bit-identical results —
+// and errors out on configurations it cannot model (finite buffers).
+func SimulateClosedForm(c *quantum.Circuit, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	if err := c.Validate(); err != nil {
 		return Result{}, err
+	}
+	if cfg.BufferAncillae > 0 {
+		return Result{}, fmt.Errorf("microarch: the closed form cannot model a finite ancilla buffer (%v); use Simulate", cfg.BufferAncillae)
 	}
 	res := Result{Arch: cfg.Arch, AncillaFactoryArea: cfg.AncillaFactoryArea(c.NumQubits)}
 	if len(c.Gates) == 0 {
@@ -105,99 +228,44 @@ func Simulate(c *quantum.Circuit, cfg Config) (Result, error) {
 	indeg := make([]int, n)
 	copy(indeg, dag.InDegree)
 
-	// Ancilla pools.
-	perQubitRate := cfg.generatorRatePerMs() / 1000.0 * float64(cfg.GeneratorsPerQubit)
-	var qubitPools []*pool
-	var sharedPool *pool
-	var cache *lruCache
-	switch cfg.Arch {
-	case QLA, GQLA:
-		qubitPools = make([]*pool, c.NumQubits)
-		for i := range qubitPools {
-			qubitPools[i] = &pool{ratePerUs: perQubitRate}
-		}
-	case CQLA, GCQLA:
-		sharedPool = &pool{ratePerUs: perQubitRate * float64(cfg.CacheSlots)}
-		cache = newLRUCache(cfg.CacheSlots)
-	case FullyMultiplexed:
-		sharedPool = &pool{ratePerUs: cfg.sharedFactoryRatePerMs() / 1000.0 * float64(cfg.SharedFactories)}
+	rates, err := sourceRates(cfg, c.NumQubits)
+	if err != nil {
+		return Result{}, err
 	}
+	// The analytical ancilla model is sim.FluidSource's token bucket: the
+	// same accumulate-then-divide arithmetic the event-driven path uses in
+	// fluid mode, which is what keeps the two bit-identical.
+	pools := make([]*sim.FluidSource, len(rates))
+	for i, r := range rates {
+		if pools[i], err = sim.NewFluidSource(r); err != nil {
+			return Result{}, err
+		}
+	}
+	model := newCostModel(cfg, &res)
 
-	perQEC := float64(cfg.Latency.ZeroAncillaePerQEC)
-	teleportCost := float64(cfg.Movement.TeleportAncillae)
-	teleportUs := float64(cfg.Movement.TeleportUs)
-	ballisticUs := float64(cfg.Movement.BallisticPerGateUs)
-
-	pq := &readyQueue{}
+	pq := &sim.TaskQueue{}
 	for i, d := range indeg {
 		if d == 0 {
-			pq.push(readyItem{gate: i, ready: 0})
+			pq.Push(sim.Task{Index: i, Ready: 0})
 		}
 	}
 	processed := 0
 	makespan := 0.0
-	for pq.len() > 0 {
-		item := pq.pop()
-		gi := item.gate
+	stall := 0.0
+	for pq.Len() > 0 {
+		item := pq.Pop()
+		gi := item.Index
 		g := c.Gates[gi]
 		processed++
 
-		start := item.ready
-		extraLatency := 0.0
-		ancillae := perQEC
-		var sites []*pool
-
-		switch cfg.Arch {
-		case QLA, GQLA:
-			// Two-qubit gates teleport the first operand to the second's
-			// home cell and back; QEC and teleport ancillae come from the
-			// execution site's dedicated generator.
-			site := qubitPools[g.Qubits[len(g.Qubits)-1]]
-			sites = append(sites, site)
-			if g.Kind.Arity() >= 2 {
-				extraLatency += 2 * teleportUs
-				ancillae += 2 * teleportCost
-				res.Teleports += 2
-			}
-		case CQLA, GCQLA:
-			// Every operand must be resident in the compute cache; misses
-			// cost a fetch teleport (plus a writeback teleport when a slot
-			// must be evicted) and the associated ancillae.
-			for _, q := range g.Qubits {
-				miss, evicted := cache.touch(q)
-				if miss {
-					res.CacheMisses++
-					extraLatency += teleportUs
-					ancillae += teleportCost
-					res.Teleports++
-					if evicted {
-						extraLatency += teleportUs
-						ancillae += teleportCost
-						res.Teleports++
-					}
-				}
-			}
-			if g.Kind.Arity() >= 2 {
-				extraLatency += ballisticUs
-			}
-			sites = append(sites, sharedPool)
-		case FullyMultiplexed:
-			// Encoded ancillae are distributed from the shared factories to
-			// wherever they are needed; data moves ballistically inside its
-			// dense region.
-			if g.Kind.Arity() >= 2 {
-				extraLatency += ballisticUs
-			}
-			sites = append(sites, sharedPool)
-		}
+		start := item.Ready
+		site, extraLatency, ancillae := model.dispatch(g)
 
 		issue := start
-		for _, site := range sites {
-			if t := site.acquire(ancillae / float64(len(sites))); t > issue {
-				issue = t
-			}
+		if t := pools[site].AvailableAt(ancillae); t > issue {
+			issue = t
 		}
-		res.AncillaeConsumed += int(math.Round(ancillae))
+		stall += issue - start
 		finish[gi] = issue + extraLatency + float64(cfg.Latency.GateWeightSpeedOfData(g))
 		if finish[gi] > makespan {
 			makespan = finish[gi]
@@ -208,7 +276,7 @@ func Simulate(c *quantum.Circuit, cfg Config) (Result, error) {
 			}
 			indeg[s]--
 			if indeg[s] == 0 {
-				pq.push(readyItem{gate: s, ready: ready[s]})
+				pq.Push(sim.Task{Index: s, Ready: ready[s]})
 			}
 		}
 	}
@@ -216,52 +284,6 @@ func Simulate(c *quantum.Circuit, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("microarch: dependence graph of %q is cyclic", c.Name)
 	}
 	res.ExecutionTime = iontrap.Microseconds(makespan)
+	res.AncillaStallTime = iontrap.Microseconds(stall)
 	return res, nil
-}
-
-// readyItem / readyQueue: a small binary min-heap keyed by data readiness.
-type readyItem struct {
-	gate  int
-	ready float64
-}
-
-type readyQueue struct{ items []readyItem }
-
-func (q *readyQueue) len() int { return len(q.items) }
-
-func (q *readyQueue) push(it readyItem) {
-	q.items = append(q.items, it)
-	i := len(q.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if q.items[parent].ready <= q.items[i].ready {
-			break
-		}
-		q.items[parent], q.items[i] = q.items[i], q.items[parent]
-		i = parent
-	}
-}
-
-func (q *readyQueue) pop() readyItem {
-	top := q.items[0]
-	last := len(q.items) - 1
-	q.items[0] = q.items[last]
-	q.items = q.items[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(q.items) && q.items[l].ready < q.items[smallest].ready {
-			smallest = l
-		}
-		if r < len(q.items) && q.items[r].ready < q.items[smallest].ready {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
-		i = smallest
-	}
-	return top
 }

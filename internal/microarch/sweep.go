@@ -20,6 +20,11 @@ type CurvePoint struct {
 	// Scale is the swept resource count (generators per qubit / per slot, or
 	// shared factories) that produced the point.
 	Scale int
+	// AncillaStallMs is the total time gates waited on encoded ancillae.
+	AncillaStallMs float64
+	// BufferHighWater is the peak buffered ancilla level (finite-buffer
+	// configurations only; zero under the fluid infinite-buffer model).
+	BufferHighWater float64
 }
 
 // Curve is one architecture's execution-time/area trade-off curve.
@@ -80,6 +85,8 @@ func scaleJobs(c *quantum.Circuit, base Config, scales []int) []engine.Job[Curve
 					AreaMacroblocks: float64(res.AncillaFactoryArea),
 					ExecutionTimeMs: res.ExecutionTimeMs(),
 					Scale:           s,
+					AncillaStallMs:  res.AncillaStallTime.Milliseconds(),
+					BufferHighWater: res.BufferHighWater,
 				}, nil
 			},
 		}
@@ -111,6 +118,18 @@ func DefaultScales(max int) []int {
 // this count.  The qsd CLI (-max-scale) and the HTTP API (?scale=) both
 // default to it.
 const DefaultMaxScale = 64
+
+// ScalesFor returns the resource scales one architecture contributes to the
+// Figure 15 grid: powers of two up to maxScale, except QLA and CQLA, whose
+// original proposals fix one serial generator per site and so appear as
+// single points.  The grid benches and the event/closed-form parity tests
+// share this rule with Figure15Engine.
+func ScalesFor(arch Architecture, maxScale int) []int {
+	if arch == QLA || arch == CQLA {
+		return []int{1}
+	}
+	return DefaultScales(maxScale)
+}
 
 // Figure15Config bundles the per-architecture settings used to regenerate
 // Figure 15 for one benchmark.
@@ -147,7 +166,6 @@ func Figure15Engine(ctx context.Context, eng *engine.Engine, c *quantum.Circuit,
 	if maxScale <= 0 {
 		maxScale = DefaultMaxScale
 	}
-	scales := DefaultScales(maxScale)
 	archs := cfg.Archs
 	if len(archs) == 0 {
 		archs = Architectures()
@@ -157,13 +175,7 @@ func Figure15Engine(ctx context.Context, eng *engine.Engine, c *quantum.Circuit,
 	for _, arch := range archs {
 		base := cfg.Base
 		base.Arch = arch
-		archScales := scales
-		if arch == QLA || arch == CQLA {
-			// The original proposals fix one serial generator per site; they
-			// appear as single points.
-			archScales = []int{1}
-		}
-		for _, job := range scaleJobs(c, base, archScales) {
+		for _, job := range scaleJobs(c, base, ScalesFor(arch, maxScale)) {
 			jobs = append(jobs, job)
 			jobArch = append(jobArch, arch)
 		}

@@ -10,6 +10,7 @@ import (
 	"speedofdata/internal/engine"
 	"speedofdata/internal/iontrap"
 	"speedofdata/internal/quantum"
+	"speedofdata/internal/sim"
 )
 
 // Characterization is the per-benchmark summary behind Tables 2 and 3.
@@ -300,6 +301,12 @@ func SimulateWithThroughput(c *quantum.Circuit, m LatencyModel, ratePerMs float6
 	if err := m.Validate(); err != nil {
 		return 0, err
 	}
+	if !(ratePerMs > 0) {
+		// A zero rate would push every issue time to +Inf; reject it with the
+		// kernel's typed error instead (an infinite rate is the speed of data
+		// and is fine).
+		return 0, fmt.Errorf("schedule: throughput %v/ms: %w", ratePerMs, sim.ErrZeroRate)
+	}
 	dag := quantum.BuildDAG(c)
 	ratePerUs := ratePerMs / 1000.0
 	perGateAncillae := float64(m.ZeroAncillaePerQEC)
@@ -310,25 +317,27 @@ func SimulateWithThroughput(c *quantum.Circuit, m LatencyModel, ratePerMs float6
 	indeg := make([]int, n)
 	copy(indeg, dag.InDegree)
 
-	// List scheduling in first-come-first-served order of data readiness:
-	// each gate issues when its operands are ready and the shared ancilla
-	// pool (refilled at the steady rate, with accumulation allowed) has
-	// produced enough encoded zeros for its QEC step.
-	pq := &readyQueue{}
+	// List scheduling in first-come-first-served order of data readiness
+	// (ties broken by gate index, the deterministic order sim.TaskQueue
+	// shares with Replay's event-driven dispatcher): each gate issues when
+	// its operands are ready and the shared ancilla pool (refilled at the
+	// steady rate, with accumulation allowed) has produced enough encoded
+	// zeros for its QEC step.
+	pq := &sim.TaskQueue{}
 	for i, d := range indeg {
 		if d == 0 {
-			pq.push(readyItem{gate: i, ready: 0})
+			pq.Push(sim.Task{Index: i, Ready: 0})
 		}
 	}
 	consumed := 0.0
 	makespan := 0.0
 	processed := 0
-	for pq.len() > 0 {
-		item := pq.pop()
-		gi := item.gate
+	for pq.Len() > 0 {
+		item := pq.Pop()
+		gi := item.Index
 		processed++
 		consumed += perGateAncillae
-		issue := item.ready
+		issue := item.Ready
 		if !math.IsInf(ratePerMs, 1) {
 			if t := consumed / ratePerUs; t > issue {
 				issue = t
@@ -344,7 +353,7 @@ func SimulateWithThroughput(c *quantum.Circuit, m LatencyModel, ratePerMs float6
 			}
 			indeg[s]--
 			if indeg[s] == 0 {
-				pq.push(readyItem{gate: s, ready: ready[s]})
+				pq.Push(sim.Task{Index: s, Ready: ready[s]})
 			}
 		}
 	}
@@ -352,56 +361,6 @@ func SimulateWithThroughput(c *quantum.Circuit, m LatencyModel, ratePerMs float6
 		return 0, fmt.Errorf("schedule: dependence graph of %q is cyclic", c.Name)
 	}
 	return iontrap.Microseconds(makespan), nil
-}
-
-// readyItem and readyQueue implement a small binary min-heap keyed by data
-// readiness time, used by the throughput simulation.
-type readyItem struct {
-	gate  int
-	ready float64
-}
-
-type readyQueue struct {
-	items []readyItem
-}
-
-func (q *readyQueue) len() int { return len(q.items) }
-
-func (q *readyQueue) push(it readyItem) {
-	q.items = append(q.items, it)
-	i := len(q.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if q.items[parent].ready <= q.items[i].ready {
-			break
-		}
-		q.items[parent], q.items[i] = q.items[i], q.items[parent]
-		i = parent
-	}
-}
-
-func (q *readyQueue) pop() readyItem {
-	top := q.items[0]
-	last := len(q.items) - 1
-	q.items[0] = q.items[last]
-	q.items = q.items[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(q.items) && q.items[l].ready < q.items[smallest].ready {
-			smallest = l
-		}
-		if r < len(q.items) && q.items[r].ready < q.items[smallest].ready {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
-		i = smallest
-	}
-	return top
 }
 
 // DefaultSweepRates returns a log-spaced set of throughputs (ancillae per

@@ -1,0 +1,264 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"speedofdata/internal/iontrap"
+	"speedofdata/internal/quantum"
+	"speedofdata/internal/sim"
+)
+
+// Supply configures the encoded-zero ancilla supply an event-driven Replay
+// executes against: an aggregate production rate (a bank of factories) and an
+// output buffer capacity.
+type Supply struct {
+	// RatePerMs is the aggregate encoded-zero production rate.  +Inf models
+	// an unbounded supply (the speed-of-data limit).
+	RatePerMs float64
+	// BufferAncillae bounds the supply's output buffer; zero buffers
+	// infinitely (the accumulating token bucket of Figure 8's closed form).
+	BufferAncillae float64
+}
+
+// Validate rejects supplies no simulation can run.
+func (s Supply) Validate() error {
+	if !(s.RatePerMs > 0) {
+		return fmt.Errorf("schedule: supply rate %v/ms: %w", s.RatePerMs, sim.ErrZeroRate)
+	}
+	if s.BufferAncillae < 0 {
+		return fmt.Errorf("schedule: negative supply buffer %v", s.BufferAncillae)
+	}
+	if s.BufferAncillae > 0 && math.IsInf(s.RatePerMs, 1) {
+		return fmt.Errorf("schedule: a finite buffer needs a finite production rate")
+	}
+	return nil
+}
+
+// ReplayResult reports, for one circuit of a replay, where the execution time
+// actually went — set against the Table 2 decomposition, which splits the
+// same circuit analytically.
+type ReplayResult struct {
+	Name string
+	// ExecutionTime is the circuit's event-driven makespan under the supply.
+	ExecutionTime iontrap.Microseconds
+	// SpeedOfData is the circuit's dataflow bound (infinite supply), the
+	// floor the makespan approaches as the supply improves.
+	SpeedOfData iontrap.Microseconds
+	// DataOpBusy and QECInteractBusy are the total useful-gate and
+	// QEC-interaction latencies summed over all gates (the Table 2 columns,
+	// but summed over the whole circuit rather than the critical path).
+	DataOpBusy      iontrap.Microseconds
+	QECInteractBusy iontrap.Microseconds
+	// AncillaWait is the total time gates waited on encoded-zero delivery
+	// beyond data readiness — the time the Table 2 "ancilla prep" column
+	// turns into when preparation is overlapped but supply-limited.
+	AncillaWait iontrap.Microseconds
+	// AncillaeConsumed counts encoded zeros drawn from the supply.
+	AncillaeConsumed int
+	// Gates is the circuit's gate count.
+	Gates int
+}
+
+// Slowdown is the makespan relative to the circuit's own dataflow bound.
+func (r ReplayResult) Slowdown() float64 {
+	if r.SpeedOfData == 0 {
+		return 0
+	}
+	return float64(r.ExecutionTime) / float64(r.SpeedOfData)
+}
+
+// ReplayRun is a completed replay: per-circuit results plus the shared-supply
+// statistics of the run as a whole.
+type ReplayRun struct {
+	Results []ReplayResult
+	// Makespan is the overall completion time across every circuit.
+	Makespan iontrap.Microseconds
+	// ProducerStall is the total time production was blocked on a full
+	// buffer (finite-buffer supplies only).
+	ProducerStall iontrap.Microseconds
+	// BufferHighWater is the peak buffered ancilla level (finite-buffer
+	// supplies only).
+	BufferHighWater float64
+	// Events is the number of kernel events processed.
+	Events int
+}
+
+// Replay executes one circuit's dataflow graph on the discrete-event kernel
+// against the configured ancilla supply.  With an infinite buffer the fluid
+// supply model reproduces SimulateWithThroughput bit for bit (same issue
+// order, same arithmetic); a finite buffer adds the production stalls the
+// closed form cannot express.
+func Replay(c *quantum.Circuit, m LatencyModel, supply Supply) (ReplayRun, error) {
+	return ReplayShared([]*quantum.Circuit{c}, m, supply)
+}
+
+// ReplayShared co-schedules several circuits against one shared ancilla
+// supply — the contention scenario: independent benchmarks, one factory
+// bank.  Gates from all circuits issue in first-come-first-served order of
+// data readiness (ties broken by circuit, then gate index) and draw from the
+// same supply, so a bursty neighbour slows everyone down.
+func ReplayShared(cs []*quantum.Circuit, m LatencyModel, supply Supply) (ReplayRun, error) {
+	if err := m.Validate(); err != nil {
+		return ReplayRun{}, err
+	}
+	if err := supply.Validate(); err != nil {
+		return ReplayRun{}, err
+	}
+	if len(cs) == 0 {
+		return ReplayRun{}, fmt.Errorf("schedule: no circuits to replay")
+	}
+
+	run := ReplayRun{Results: make([]ReplayResult, len(cs))}
+	type flatGate struct {
+		circuit int
+		gate    int
+	}
+	var flat []flatGate
+	dags := make([]*quantum.DAG, len(cs))
+	offsets := make([]int, len(cs))
+	for ci, c := range cs {
+		if err := c.Validate(); err != nil {
+			return ReplayRun{}, err
+		}
+		dags[ci] = quantum.BuildDAG(c)
+		offsets[ci] = len(flat)
+		for gi := range c.Gates {
+			flat = append(flat, flatGate{circuit: ci, gate: gi})
+		}
+		r := &run.Results[ci]
+		r.Name = c.Name
+		r.Gates = len(c.Gates)
+		_, sod := dags[ci].WeightedCriticalPath(func(g quantum.Gate) float64 {
+			return float64(m.GateWeightSpeedOfData(g))
+		})
+		r.SpeedOfData = iontrap.Microseconds(sod)
+		for _, g := range c.Gates {
+			r.DataOpBusy += m.DataOpLatency(g)
+			r.QECInteractBusy += m.QECInteractLatency()
+		}
+	}
+	total := len(flat)
+	if total == 0 {
+		return run, nil
+	}
+
+	k := sim.NewKernel()
+	ratePerUs := supply.RatePerMs / 1000.0
+	perGateAncillae := float64(m.ZeroAncillaePerQEC)
+	fluid := supply.BufferAncillae <= 0
+	var fluidSrc *sim.FluidSource
+	var buffer *sim.Resource
+	var producer *sim.Producer
+	var err error
+	if fluid {
+		if fluidSrc, err = sim.NewFluidSource(ratePerUs); err != nil {
+			return ReplayRun{}, err
+		}
+	} else {
+		buffer = sim.NewResource(k, "shared zero supply", supply.BufferAncillae)
+		if producer, err = sim.NewProducer(k, "shared zero supply", buffer, ratePerUs, 1); err != nil {
+			return ReplayRun{}, err
+		}
+		producer.Start()
+	}
+
+	ready := make([]float64, total)
+	indeg := make([]int, total)
+	for ci, d := range dags {
+		copy(indeg[offsets[ci]:offsets[ci]+len(d.InDegree)], d.InDegree)
+	}
+
+	rq := &sim.TaskQueue{}
+	finished := 0
+	dispatchScheduled := false
+	waits := make([]float64, len(cs))
+	makespans := make([]float64, len(cs))
+	makespan := 0.0
+
+	var dispatch func()
+	scheduleDispatch := func() {
+		if !dispatchScheduled {
+			dispatchScheduled = true
+			k.At(k.Now(), sim.PriorityLate, dispatch)
+		}
+	}
+	finishGate := func(fi int, finishAt float64) {
+		fg := flat[fi]
+		if finishAt > makespans[fg.circuit] {
+			makespans[fg.circuit] = finishAt
+		}
+		if finishAt > makespan {
+			makespan = finishAt
+		}
+		k.At(iontrap.Microseconds(finishAt), sim.PriorityNormal, func() {
+			finished++
+			for _, s := range dags[fg.circuit].Succ[fg.gate] {
+				si := offsets[fg.circuit] + s
+				if finishAt > ready[si] {
+					ready[si] = finishAt
+				}
+				indeg[si]--
+				if indeg[si] == 0 {
+					rq.Push(sim.Task{Index: si, Ready: ready[si]})
+					scheduleDispatch()
+				}
+			}
+			if finished == total {
+				k.Stop()
+			}
+		})
+	}
+	dispatch = func() {
+		dispatchScheduled = false
+		for rq.Len() > 0 {
+			item := rq.Pop()
+			fi := item.Index
+			fg := flat[fi]
+			g := cs[fg.circuit].Gates[fg.gate]
+			start := item.Ready
+			weight := float64(m.GateWeightSpeedOfData(g))
+			run.Results[fg.circuit].AncillaeConsumed += m.ZeroAncillaePerQEC
+			if fluid {
+				issue := start
+				if t := fluidSrc.AvailableAt(perGateAncillae); t > issue {
+					issue = t
+				}
+				waits[fg.circuit] += issue - start
+				finishGate(fi, issue+weight)
+			} else {
+				buffer.Acquire(perGateAncillae, func() {
+					issue := float64(k.Now())
+					waits[fg.circuit] += issue - start
+					finishGate(fi, issue+weight)
+				})
+			}
+		}
+	}
+
+	for fi, d := range indeg {
+		if d == 0 {
+			rq.Push(sim.Task{Index: fi, Ready: 0})
+		}
+	}
+	k.At(0, sim.PriorityLate, dispatch)
+	dispatchScheduled = true
+	stats := k.Run()
+
+	if finished != total {
+		return ReplayRun{}, fmt.Errorf("schedule: replay left %d gates unexecuted (cyclic dependence graph?)", total-finished)
+	}
+	for ci := range cs {
+		run.Results[ci].ExecutionTime = iontrap.Microseconds(makespans[ci])
+		run.Results[ci].AncillaWait = iontrap.Microseconds(waits[ci])
+	}
+	run.Makespan = iontrap.Microseconds(makespan)
+	run.Events = stats.Events
+	if producer != nil {
+		run.ProducerStall = producer.StallTime()
+	}
+	if buffer != nil {
+		run.BufferHighWater = buffer.HighWater()
+	}
+	return run, nil
+}

@@ -14,7 +14,9 @@
 //	/v1/experiments/{id}       run one experiment (or "all"); parameters:
 //	                           format (json, csv, text; default json),
 //	                           bits, trials, seed, buckets, benchmark,
-//	                           scale (alias max-scale), arch
+//	                           scale (alias max-scale), arch, buffer
+//	                           (ancilla buffer capacity of the event-driven
+//	                           scenarios; 0 = infinite)
 //	/v1/progress               SSE stream of engine job completions
 //	/v1/cache                  engine cache and coalescing statistics
 //	/v1/healthz                liveness probe
@@ -126,6 +128,7 @@ func (s *Server) queryParams(r *http.Request) (core.Experiments, core.RunParams,
 		"bits":    &exp.Bits,
 		"trials":  &p.Trials,
 		"buckets": &p.Buckets,
+		"buffer":  &p.Buffer,
 	} {
 		if err := intParam(name, dst); err != nil {
 			return exp, p, err
@@ -168,6 +171,7 @@ func (s *Server) queryParams(r *http.Request) (core.Experiments, core.RunParams,
 		{"trials", p.Trials, maxTrials},
 		{"buckets", p.Buckets, maxBuckets},
 		{"scale", p.MaxScale, maxRequestScale},
+		{"buffer", p.Buffer, maxRequestBuffer},
 	} {
 		if lim.got > lim.max {
 			return exp, p, fmt.Errorf("invalid %s: %d exceeds the server limit %d", lim.name, lim.got, lim.max)
@@ -178,10 +182,11 @@ func (s *Server) queryParams(r *http.Request) (core.Experiments, core.RunParams,
 
 // Per-request effort limits enforced by queryParams.
 const (
-	maxBits         = 128
-	maxTrials       = 10_000_000
-	maxBuckets      = 100_000
-	maxRequestScale = 4096
+	maxBits          = 128
+	maxTrials        = 10_000_000
+	maxBuckets       = 100_000
+	maxRequestScale  = 4096
+	maxRequestBuffer = 1_000_000
 )
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {

@@ -293,3 +293,46 @@ func TestRequestLimits(t *testing.T) {
 		}
 	}
 }
+
+// TestEventDrivenScenarioEndpoints serves the finite-buffer/contention
+// scenarios over HTTP and checks the buffer parameter is honoured and
+// bounded.
+func TestEventDrivenScenarioEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{
+		"/v1/experiments/factory-sim?format=json",
+		"/v1/experiments/contention?format=json&bits=4",
+		"/v1/experiments/buffersweep?format=json&bits=4&benchmark=qrca",
+		"/v1/experiments/fig15buf?format=json&bits=4&scale=2&arch=fm&buffer=8",
+	} {
+		status, body, _ := get(t, ts.URL+path)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, status, body)
+		}
+		var doc struct {
+			Sections []struct {
+				ID string `json:"id"`
+			} `json:"sections"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", path, err)
+		}
+		if len(doc.Sections) != 1 {
+			t.Errorf("%s: expected one section, got %s", path, body)
+		}
+	}
+	// The buffer parameter shows up in the rendered title.
+	status, body, _ := get(t, ts.URL+"/v1/experiments/fig15buf?format=text&bits=4&scale=2&arch=fm&buffer=8")
+	if status != http.StatusOK || !strings.Contains(body, "8-ancilla buffers") {
+		t.Errorf("buffer parameter not honoured (status %d):\n%s", status, body)
+	}
+	// Out-of-range and malformed buffers are rejected.
+	status, body, _ = get(t, ts.URL+"/v1/experiments/fig15buf?bits=4&buffer=2000000")
+	if status != http.StatusBadRequest {
+		t.Errorf("oversized buffer: status %d: %s", status, body)
+	}
+	status, _, _ = get(t, ts.URL+"/v1/experiments/fig15buf?bits=4&buffer=-1")
+	if status != http.StatusBadRequest {
+		t.Errorf("negative buffer: status %d", status)
+	}
+}

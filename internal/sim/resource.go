@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"fmt"
+
+	"speedofdata/internal/iontrap"
+)
+
+// grantEps absorbs floating-point residue when deciding whether a request's
+// remaining demand has been fully delivered.
+const grantEps = 1e-9
+
+// FluidSource is the infinite-buffer token-bucket ancilla source of the
+// closed-form analyses: production accumulates continuously at a steady rate,
+// so the time at which a cumulative demand of c ancillae is available is
+// c/rate.  It exists so the event-driven simulators can reproduce the
+// analytical results bit for bit when buffers are configured infinite — the
+// parity oracle for every finite-buffer extension.
+type FluidSource struct {
+	ratePerUs float64
+	consumed  float64
+}
+
+// NewFluidSource builds a fluid source producing ratePerUs ancillae per
+// microsecond.  A non-positive rate returns ErrZeroRate (an infinite rate is
+// allowed and grants everything immediately).
+func NewFluidSource(ratePerUs float64) (*FluidSource, error) {
+	if !(ratePerUs > 0) {
+		return nil, fmt.Errorf("fluid source rate %v: %w", ratePerUs, ErrZeroRate)
+	}
+	return &FluidSource{ratePerUs: ratePerUs}, nil
+}
+
+// AvailableAt reserves n more ancillae and returns the earliest time (in
+// microseconds since the run started) by which the cumulative reservation has
+// been produced.  The arithmetic — accumulate, then divide once — is exactly
+// the closed-form token bucket's, which is what makes infinite-buffer
+// event-driven runs bit-identical to the analytical model.
+func (s *FluidSource) AvailableAt(n float64) float64 {
+	s.consumed += n
+	return s.consumed / s.ratePerUs
+}
+
+// Consumed returns the cumulative ancillae reserved so far.
+func (s *FluidSource) Consumed() float64 { return s.consumed }
+
+// request is one pending Acquire: demand is delivered incrementally as the
+// resource is replenished (ancillae are handed over the moment they exist, so
+// a demand larger than the buffer capacity still completes).
+type request struct {
+	remaining float64
+	since     iontrap.Microseconds
+	fn        func()
+}
+
+// Resource is a finite-buffer store of a fungible quantity (encoded
+// ancillae, physical qubits between factory stages).  Producers deposit with
+// Put and stall when the buffer is full; consumers Acquire a demand and are
+// granted FIFO as the quantity becomes available.  All hand-offs happen
+// through kernel events, so interleavings are deterministic.
+type Resource struct {
+	// Name labels the resource in diagnostics.
+	Name string
+
+	k        *Kernel
+	capacity float64 // <= 0 means unbounded
+	level    float64
+	pending  []request
+	waiters  []func() // producers blocked on a full buffer
+
+	produced  float64
+	consumed  float64
+	highWater float64
+	waitUs    iontrap.Microseconds
+}
+
+// NewResource builds a buffer with the given capacity; capacity <= 0 means
+// unbounded.
+func NewResource(k *Kernel, name string, capacity float64) *Resource {
+	return &Resource{Name: name, k: k, capacity: capacity}
+}
+
+// Level returns the currently buffered quantity.
+func (r *Resource) Level() float64 { return r.level }
+
+// HighWater returns the largest buffered level observed.
+func (r *Resource) HighWater() float64 { return r.highWater }
+
+// Produced returns the cumulative quantity deposited.
+func (r *Resource) Produced() float64 { return r.produced }
+
+// Consumed returns the cumulative quantity granted to consumers.
+func (r *Resource) Consumed() float64 { return r.consumed }
+
+// WaitTime returns the total time Acquire requests spent waiting for their
+// full demand.
+func (r *Resource) WaitTime() iontrap.Microseconds { return r.waitUs }
+
+// Acquire requests n units.  fn fires (as a normal-priority kernel event)
+// once the full demand has been delivered; requests are served first come,
+// first served, draining the buffer incrementally so demands larger than the
+// capacity still complete.  A zero demand is granted immediately.
+func (r *Resource) Acquire(n float64, fn func()) {
+	if n <= grantEps {
+		r.k.At(r.k.Now(), PriorityNormal, fn)
+		return
+	}
+	r.pending = append(r.pending, request{remaining: n, since: r.k.Now()})
+	r.pending[len(r.pending)-1].fn = fn
+	r.drain()
+}
+
+// Put deposits up to n units, feeding pending requests directly and then the
+// buffer up to its capacity.  It returns the quantity accepted; producers
+// hold the remainder and re-Put when OnSpace signals room.
+func (r *Resource) Put(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	accepted := 0.0
+	// Pending consumers take delivery directly, bypassing the buffer.
+	for n > grantEps && len(r.pending) > 0 {
+		take := n
+		if rem := r.pending[0].remaining; take > rem {
+			take = rem
+		}
+		n -= take
+		accepted += take
+		r.deliver(take)
+	}
+	if n > grantEps {
+		room := n
+		if r.capacity > 0 {
+			room = r.capacity - r.level
+			if room > n {
+				room = n
+			}
+			if room < 0 {
+				room = 0
+			}
+		}
+		r.level += room
+		accepted += room
+		if r.level > r.highWater {
+			r.highWater = r.level
+		}
+	}
+	r.produced += accepted
+	return accepted
+}
+
+// deliver hands take units to the head request, completing it when its
+// demand is met.
+func (r *Resource) deliver(take float64) {
+	head := &r.pending[0]
+	head.remaining -= take
+	r.consumed += take
+	if head.remaining <= grantEps {
+		done := *head
+		r.pending = r.pending[1:]
+		r.waitUs += r.k.Now() - done.since
+		r.k.At(r.k.Now(), PriorityNormal, done.fn)
+	}
+}
+
+// drain moves buffered quantity into pending requests and wakes stalled
+// producers if space was freed.
+func (r *Resource) drain() {
+	freed := false
+	for r.level > grantEps && len(r.pending) > 0 {
+		take := r.level
+		if rem := r.pending[0].remaining; take > rem {
+			take = rem
+		}
+		r.level -= take
+		freed = true
+		r.deliver(take)
+	}
+	if freed && len(r.waiters) > 0 {
+		ws := r.waiters
+		r.waiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// OnSpace registers a one-shot callback invoked the next time buffered
+// quantity is consumed (i.e. space frees up).  Producers use it to resume
+// after stalling on a full buffer.
+func (r *Resource) OnSpace(fn func()) { r.waiters = append(r.waiters, fn) }
+
+// Producer deposits a fixed batch into a Resource at a steady cadence,
+// stalling (and accounting the stall) whenever the buffer is full.  It
+// models an ancilla factory's output side: with a batch of one ancilla every
+// 1/rate microseconds, the k-th ancilla is ready at k/rate — the discrete
+// counterpart of FluidSource — but unlike the fluid model production stops
+// when there is nowhere to put the product.
+type Producer struct {
+	// Name labels the producer in diagnostics.
+	Name string
+
+	k        *Kernel
+	out      *Resource
+	interval iontrap.Microseconds
+	batch    float64
+
+	held      float64
+	stalled   bool
+	stalledAt iontrap.Microseconds
+	stallUs   iontrap.Microseconds
+	emitted   float64
+}
+
+// NewProducer builds a producer emitting batch units into out every
+// 1/ratePerUs microseconds.  A non-positive rate returns ErrZeroRate.
+func NewProducer(k *Kernel, name string, out *Resource, ratePerUs, batch float64) (*Producer, error) {
+	if !(ratePerUs > 0) {
+		return nil, fmt.Errorf("producer %q rate %v: %w", name, ratePerUs, ErrZeroRate)
+	}
+	if batch <= 0 {
+		return nil, fmt.Errorf("sim: producer %q has non-positive batch %v", name, batch)
+	}
+	return &Producer{
+		Name:     name,
+		k:        k,
+		out:      out,
+		interval: iontrap.Microseconds(batch / ratePerUs),
+		batch:    batch,
+	}, nil
+}
+
+// Start schedules the first completion one interval from now.
+func (p *Producer) Start() { p.k.After(p.interval, PriorityNormal, p.tick) }
+
+// StallTime returns the total time the producer spent blocked on a full
+// buffer, including a stall still in progress at the current kernel time (so
+// runs that end mid-stall account the trailing segment).
+func (p *Producer) StallTime() iontrap.Microseconds {
+	if p.stalled {
+		return p.stallUs + p.k.Now() - p.stalledAt
+	}
+	return p.stallUs
+}
+
+// Emitted returns the cumulative quantity produced (deposited or held).
+func (p *Producer) Emitted() float64 { return p.emitted }
+
+// tick is one production completion.
+func (p *Producer) tick() {
+	p.emitted += p.batch
+	p.held += p.batch
+	p.flush()
+}
+
+// flush deposits held product; if the buffer rejects part of it the producer
+// stalls until space frees, otherwise the next completion is scheduled.
+func (p *Producer) flush() {
+	p.held -= p.out.Put(p.held)
+	if p.held > grantEps {
+		if !p.stalled {
+			p.stalled = true
+			p.stalledAt = p.k.Now()
+		}
+		p.out.OnSpace(p.wake)
+		return
+	}
+	p.held = 0
+	if p.stalled {
+		p.stalled = false
+		p.stallUs += p.k.Now() - p.stalledAt
+	}
+	p.k.After(p.interval, PriorityNormal, p.tick)
+}
+
+// wake retries the deposit after space freed up.
+func (p *Producer) wake() { p.flush() }
