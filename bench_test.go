@@ -20,6 +20,7 @@ import (
 	"speedofdata/internal/fowler"
 	"speedofdata/internal/iontrap"
 	"speedofdata/internal/microarch"
+	"speedofdata/internal/network"
 	"speedofdata/internal/noise"
 	"speedofdata/internal/quantum"
 	"speedofdata/internal/schedule"
@@ -624,6 +625,119 @@ func BenchmarkSimComparisonReport(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_sim.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Teleportation interconnect benches ---
+
+// BenchmarkNetworkReplay runs the routed-mesh replay over a small
+// tile-count × link-bandwidth grid and writes BENCH_network.json: kernel
+// events per second and the network-blocked fraction of the makespan per
+// grid point.  `go test -bench NetworkReplay -benchtime 1x` refreshes the
+// file; the CI bench smoke does so on every run.
+func BenchmarkNetworkReplay(b *testing.B) {
+	type entry struct {
+		Benchmark          string  `json:"benchmark"`
+		Tiles              int     `json:"tiles"`
+		LinkFactor         float64 `json:"link_factor"`
+		LinkEPRPerMs       float64 `json:"link_epr_per_ms"`
+		MakespanMs         float64 `json:"makespan_ms"`
+		NetworkBlockedFrac float64 `json:"network_blocked_fraction"`
+		KernelEvents       int     `json:"kernel_events"`
+		EventsPerSec       float64 `json:"events_per_sec"`
+		ReplayNs           int64   `json:"replay_ns"`
+	}
+	type document struct {
+		Description  string  `json:"description"`
+		Bits         int     `json:"bits"`
+		Entries      []entry `json:"entries"`
+		TotalEvents  int     `json:"total_events"`
+		TotalNs      int64   `json:"total_ns"`
+		EventsPerSec float64 `json:"total_events_per_sec"`
+	}
+	m := schedule.DefaultLatencyModel()
+	c, err := circuits.Generate(circuits.QCLA, benchBits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := schedule.Characterize(c, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := document{
+		Description: "Routed-mesh network.Replay on the tile-count x link-bandwidth grid: kernel throughput and the network-blocked ratio (gate-summed network time over makespan; exceeds 1 when many gates queue concurrently) per point.",
+		Bits:        benchBits,
+	}
+	for i := 0; i < b.N; i++ {
+		doc.Entries = doc.Entries[:0]
+		doc.TotalEvents, doc.TotalNs = 0, 0
+		for _, tiles := range []int{2, 4} {
+			cfg, err := network.PlanConfig(m, c.NumQubits, tiles, ch.ZeroBandwidthPerMs*core.NetSupplyHeadroom, ch.Pi8BandwidthPerMs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			topo := network.NewTopology(len(cfg.Machine.Tiles))
+			part, err := network.PartitionCircuit(c, topo.TileCount())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Partitions = []network.Partition{part}
+			matched := network.MatchedLinkEPRPerMs(c, m, topo, part)
+			for _, factor := range []float64{0.5, 1, 2} {
+				cfg.LinkEPRPerMs = matched * factor
+				// Same geometric ceiling the registered scenarios apply.
+				if ceiling := cfg.Machine.LinkEPRPerMs(); cfg.LinkEPRPerMs > ceiling {
+					cfg.LinkEPRPerMs = ceiling
+				}
+				cfg.LinkBufferPairs = core.DefaultBufferAncillae
+				t0 := time.Now()
+				run, err := network.Replay(c, cfg)
+				elapsed := time.Since(t0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := run.Results[0]
+				frac := 0.0
+				if r.ExecutionTime > 0 {
+					frac = float64(r.NetworkBlocked) / float64(r.ExecutionTime)
+				}
+				eps := 0.0
+				if elapsed > 0 {
+					eps = float64(run.Events) / elapsed.Seconds()
+				}
+				doc.Entries = append(doc.Entries, entry{
+					Benchmark:          c.Name,
+					Tiles:              len(cfg.Machine.Tiles),
+					LinkFactor:         factor,
+					LinkEPRPerMs:       cfg.LinkEPRPerMs,
+					MakespanMs:         r.ExecutionTime.Milliseconds(),
+					NetworkBlockedFrac: frac,
+					KernelEvents:       run.Events,
+					EventsPerSec:       eps,
+					ReplayNs:           elapsed.Nanoseconds(),
+				})
+				doc.TotalEvents += run.Events
+				doc.TotalNs += elapsed.Nanoseconds()
+			}
+		}
+	}
+	if doc.TotalNs > 0 {
+		doc.EventsPerSec = float64(doc.TotalEvents) / (float64(doc.TotalNs) / 1e9)
+	}
+	b.ReportMetric(doc.EventsPerSec, "events/sec")
+	// Compare the starved and provisioned ends within ONE tile group (the
+	// factor loop is innermost), so the delta shows bandwidth draining the
+	// network-blocked time rather than conflating it with a topology change.
+	if factors := 3; len(doc.Entries) >= factors {
+		b.ReportMetric(doc.Entries[0].NetworkBlockedFrac, "net-blocked-frac-starved")
+		b.ReportMetric(doc.Entries[factors-1].NetworkBlockedFrac, "net-blocked-frac-provisioned")
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_network.json", append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

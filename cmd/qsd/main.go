@@ -12,8 +12,11 @@
 // zero-factory, pi8-factory, qalypso, all, plus the event-driven scenarios
 // fig15buf (Figure 15 with finite ancilla buffers), buffersweep (execution
 // time vs buffer capacity), contention (co-scheduled benchmarks sharing one
-// factory bank) and factory-sim (factory pipelines on the event kernel);
-// -buffer sets the finite buffer capacity (0 = infinite).
+// factory bank), factory-sim (factory pipelines on the event kernel),
+// netsweep (the teleportation interconnect's link-bandwidth × tile-count
+// grid) and netcontention (co-scheduled benchmarks sharing one routed mesh);
+// -buffer sets the finite buffer capacity (0 = infinite) and -tiles bounds
+// the network scenarios' mesh size.
 //
 // Every experiment runs as a job batch on the shared experiment engine
 // (internal/engine): -parallel selects the worker count, a progress line on
@@ -63,7 +66,8 @@ func run(args []string, out *os.File) error {
 	maxScale := fs.Int("max-scale", microarch.DefaultMaxScale, "largest resource scale for fig15")
 	benchName := fs.String("benchmark", "QCLA", "benchmark for fig15/fig15buf/buffersweep (QRCA, QCLA, QFT)")
 	arch := fs.String("arch", "", "restrict fig15/fig15buf/buffersweep to one architecture (QLA, GQLA, CQLA, GCQLA, Fully-Multiplexed)")
-	buffer := fs.Int("buffer", core.DefaultBufferAncillae, "ancilla buffer capacity for fig15buf/contention/factory-sim (0 = infinite)")
+	buffer := fs.Int("buffer", core.DefaultBufferAncillae, "buffer capacity for fig15buf/contention/factory-sim/netsweep/netcontention (0 = infinite)")
+	tiles := fs.Int("tiles", core.DefaultTiles, "mesh tile bound for netsweep/netcontention")
 	format := fs.String("format", "text", "output format: text, json or csv")
 	parallel := fs.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = sequential)")
 	progress := fs.Bool("progress", true, "print a job progress line on stderr")
@@ -82,7 +86,7 @@ func run(args []string, out *os.File) error {
 	e.Bits = *bits
 	e.Engine = eng
 	p := core.RunParams{Trials: *trials, Seed: *seed, Buckets: *buckets,
-		MaxScale: *maxScale, Benchmark: *benchName, Arch: *arch, Buffer: *buffer}
+		MaxScale: *maxScale, Benchmark: *benchName, Arch: *arch, Buffer: *buffer, Tiles: *tiles}
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -149,6 +153,7 @@ func usage(fs *flag.FlagSet) {
 	fmt.Fprintln(os.Stderr, "       qsd serve [flags]")
 	fmt.Fprintln(os.Stderr, "experiments: table1..table9, fig4, fig7, fig8, fig15, fowler, shor,")
 	fmt.Fprintln(os.Stderr, "             simple-factory, zero-factory, pi8-factory, qalypso, all,")
-	fmt.Fprintln(os.Stderr, "             fig15buf, buffersweep, contention, factory-sim (event-driven)")
+	fmt.Fprintln(os.Stderr, "             fig15buf, buffersweep, contention, factory-sim (event-driven),")
+	fmt.Fprintln(os.Stderr, "             netsweep, netcontention (teleportation interconnect)")
 	fs.PrintDefaults()
 }

@@ -18,6 +18,8 @@
 //	simulation kernel     internal/sim        — deterministic discrete-event kernel: event queue,
 //	    │                                       finite-buffer resources, rate producers
 //	evaluation layer      internal/microarch  — QLA/CQLA/GQLA/GCQLA/fully-multiplexed sim (§5.2)
+//	                      internal/network    — teleportation interconnect: routed 2D mesh,
+//	                                            EPR-channel contention, multi-tile replay (§5.3, §6)
 //	                      internal/noise      — Monte Carlo / first-order error evaluation (§2.2-2.3)
 //	                      internal/schedule   — critical paths, demand profiles, sweeps,
 //	                                            event-driven replay and contention (§3.2-3.3)
@@ -45,7 +47,13 @@
 // unlock the dynamics the closed forms cannot express — factory pipeline
 // stalls, bursty demand against bounded storage, and co-scheduled
 // benchmarks contending for one shared factory bank (the fig15buf,
-// buffersweep, contention and factory-sim experiments).
+// buffersweep, contention and factory-sim experiments).  internal/network
+// extends the kernel across tiles: benchmark dataflow graphs replay on a
+// 2D mesh of Qalypso tiles where cross-tile gates teleport operands over
+// dimension-order routes, each hop drawing an EPR pair from a finite link
+// channel and teleport ancillae from the departing tile (the netsweep and
+// netcontention experiments); a 1-tile mesh with ballistic movement
+// disabled reproduces the single-region replay bit for bit.
 //
 // The cmd/qsd tool regenerates every table and figure of the paper's
 // evaluation — as plain text, JSON or CSV (-format) — and `qsd serve`
@@ -53,7 +61,8 @@
 // engine, so repeated requests hit the result cache and identical
 // concurrent requests coalesce.  The benchmarks in bench_test.go wrap the
 // same experiments for `go test -bench`, including engine speedup benches
-// and the closed-form vs event-driven comparison that emits BENCH_sim.json.
+// and the comparisons that emit BENCH_sim.json (closed-form vs
+// event-driven) and BENCH_network.json (routed-mesh replay throughput).
 // See README.md for the CLI and API reference and ARCHITECTURE.md for the
 // data flow.
 package speedofdata

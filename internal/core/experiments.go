@@ -11,6 +11,7 @@ import (
 	"speedofdata/internal/factory"
 	"speedofdata/internal/fowler"
 	"speedofdata/internal/microarch"
+	"speedofdata/internal/network"
 	"speedofdata/internal/noise"
 	"speedofdata/internal/quantum"
 	"speedofdata/internal/schedule"
@@ -409,6 +410,117 @@ func (e Experiments) Contention(bufferAncillae float64) ([]ContentionLevel, erro
 					return ContentionLevel{}, err
 				}
 				return ContentionLevel{DemandFraction: frac, Supply: supply, Run: run}, nil
+			},
+		}
+	}
+	return engine.Run(ctx, e.Engine, jobs)
+}
+
+// NetSupplyHeadroom over-provisions the zero-factory demand of the network
+// scenarios so the interconnect — not ancilla generation — is the binding
+// constraint under a link-bandwidth sweep.
+const NetSupplyHeadroom = 2
+
+// NetSweep runs the netsweep scenario for one benchmark: the circuit
+// replayed on routed 2D meshes over a link-bandwidth × tile-count grid
+// (tile counts are powers of two up to maxTiles), one engine job per cell.
+// linkBufferPairs bounds each link's EPR channel buffer (0 = unbounded).
+func (e Experiments) NetSweep(b circuits.Benchmark, maxTiles, linkBufferPairs int) ([]network.SweepPoint, error) {
+	if maxTiles < 2 {
+		return nil, fmt.Errorf("netsweep needs a tile bound of at least 2, got %d (a 1-tile mesh has no links to sweep)", maxTiles)
+	}
+	c, ch, err := e.characterizedBenchmark(b)
+	if err != nil {
+		return nil, err
+	}
+	sc := network.SweepConfig{
+		Latency:         e.Options.Latency,
+		ZeroPerMs:       ch.ZeroBandwidthPerMs * NetSupplyHeadroom,
+		Pi8PerMs:        ch.Pi8BandwidthPerMs,
+		LinkBufferPairs: float64(linkBufferPairs),
+		TileCounts:      network.DefaultTileCounts(maxTiles),
+		LinkFactors:     network.DefaultLinkFactors(),
+	}
+	return network.SweepEngine(e.ctx(), e.Engine, c, sc)
+}
+
+// NetContentionLevel is one link-bandwidth operating point of the shared-mesh
+// scenario: every benchmark replayed concurrently on one mesh.
+type NetContentionLevel struct {
+	// LinkFactor scales the aggregate demand-matched link EPR bandwidth
+	// (the sum of every co-scheduled benchmark's network.MatchedLinkEPRPerMs).
+	LinkFactor float64
+	// LinkEPRPerMs is the effective per-link bandwidth.
+	LinkEPRPerMs float64
+	// Run holds the per-benchmark results and the per-link statistics.
+	Run network.ReplayRun
+}
+
+// DefaultNetContentionFactors are the link-bandwidth levels of the
+// netcontention scenario, as multiples of the aggregate demand-matched
+// bandwidth.
+var DefaultNetContentionFactors = []float64{0.5, 1, 2}
+
+// NetContention co-schedules the paper's three benchmarks on one shared
+// tiles-tile teleportation mesh at several link-bandwidth levels, one engine
+// job per level.  Each circuit is partitioned across the same tiles, so
+// cross-tile traffic from one benchmark queues behind another's at shared
+// links even when the factories keep up.
+func (e Experiments) NetContention(tiles, linkBufferPairs int) ([]NetContentionLevel, error) {
+	ctx := e.ctx()
+	cs, err := e.generateBenchmarks(ctx)
+	if err != nil {
+		return nil, err
+	}
+	chs, err := schedule.CharacterizeAll(ctx, e.Engine, cs, e.Options.Latency)
+	if err != nil {
+		return nil, err
+	}
+	zeroDemand, pi8Demand, qubits := 0.0, 0.0, 0
+	for i, ch := range chs {
+		zeroDemand += ch.ZeroBandwidthPerMs
+		pi8Demand += ch.Pi8BandwidthPerMs
+		qubits += cs[i].NumQubits
+	}
+	base, err := network.PlanConfig(e.Options.Latency, qubits, tiles, zeroDemand*NetSupplyHeadroom, pi8Demand)
+	if err != nil {
+		return nil, err
+	}
+	// The baseline link bandwidth moves data exactly as fast as the
+	// co-scheduled programs collectively demand it; the ceiling is what the
+	// tile perimeter can physically carry.
+	topo := network.NewTopology(len(base.Machine.Tiles))
+	matched := 0.0
+	parts := make([]network.Partition, len(cs))
+	for i, c := range cs {
+		part, err := network.PartitionCircuit(c, topo.TileCount())
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = part
+		matched += network.MatchedLinkEPRPerMs(c, e.Options.Latency, topo, part)
+	}
+	// Pin the assignments so every replay level reuses them instead of
+	// re-partitioning.
+	base.Partitions = parts
+	ceiling := base.Machine.LinkEPRPerMs()
+	jobs := make([]engine.Job[NetContentionLevel], len(DefaultNetContentionFactors))
+	for i, factor := range DefaultNetContentionFactors {
+		factor := factor
+		jobs[i] = engine.Job[NetContentionLevel]{
+			Key: engine.Fingerprint("core.netcontention", e.Bits, e.Options.Latency, tiles, linkBufferPairs, factor),
+			Run: func(context.Context, *rand.Rand) (NetContentionLevel, error) {
+				cfg := base
+				cfg.LinkBufferPairs = float64(linkBufferPairs)
+				cfg.LinkEPRPerMs = matched * factor
+				if cfg.LinkEPRPerMs > ceiling {
+					cfg.LinkEPRPerMs = ceiling
+				}
+				run, err := network.ReplayShared(cs, cfg)
+				if err != nil {
+					return NetContentionLevel{}, err
+				}
+				return NetContentionLevel{LinkFactor: factor, LinkEPRPerMs: cfg.LinkEPRPerMs, Run: run}, nil
 			},
 		}
 	}

@@ -202,3 +202,80 @@ func TestContentionSlowdownEasesWithSupply(t *testing.T) {
 		}
 	}
 }
+
+// TestNetworkScenarioRegistration keeps the two network scenarios in sync
+// across both surfaces: they are listed with their aliases and parameters
+// (the /v1/experiments index and the qsd usage text are both generated from
+// ExperimentInfos), resolve from either spelling, and render end to end.
+func TestNetworkScenarioRegistration(t *testing.T) {
+	wantParams := map[string][]string{
+		"netsweep":      {"bits", "benchmark", "tiles", "buffer"},
+		"netcontention": {"bits", "tiles", "buffer"},
+	}
+	listed := map[string]ExperimentInfo{}
+	for _, info := range ExperimentInfos() {
+		listed[info.ID] = info
+	}
+	for id, params := range wantParams {
+		info, ok := listed[id]
+		if !ok {
+			t.Fatalf("%s missing from the experiment index", id)
+		}
+		if len(info.Aliases) == 0 {
+			t.Errorf("%s has no aliases", id)
+		}
+		if strings.Join(info.Params, ",") != strings.Join(params, ",") {
+			t.Errorf("%s params = %v, want %v", id, info.Params, params)
+		}
+	}
+	for alias, want := range map[string]string{
+		"network-sweep":      "netsweep",
+		"network-contention": "netcontention",
+		"NETSWEEP":           "netsweep",
+	} {
+		got, ok := CanonicalExperimentID(alias)
+		if !ok || got != want {
+			t.Errorf("alias %q resolved to %q, %v; want %q", alias, got, ok, want)
+		}
+	}
+
+	e := NewExperiments()
+	e.Bits = 4
+	p := DefaultRunParams()
+	p.Tiles = 2
+	for _, id := range []string{"netsweep", "netcontention"} {
+		sec, err := RunExperiment(e, id, p)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if sec.ID != id || sec.Text() == "" {
+			t.Errorf("%s: empty or mislabelled section", id)
+		}
+	}
+	bad := p
+	bad.Tiles = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero tiles should fail validation")
+	}
+}
+
+// Same circuit and parameters must give identical network sections whether
+// the engine runs one worker or eight — the partitioner, routes and replays
+// are deterministic, so the rendered bytes are too.
+func TestNetworkScenariosDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		e := NewExperiments()
+		e.Bits = 4
+		e.Engine = engine.New(workers)
+		p := DefaultRunParams()
+		p.Tiles = 4
+		doc, err := RunReport(context.Background(), e, p, []string{"netsweep", "netcontention"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc.String()
+	}
+	if seq, par := render(1), render(8); seq != par {
+		t.Errorf("network sections differ between 1 and 8 workers:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+}

@@ -75,10 +75,19 @@ func DefaultMovementModel(tech iontrap.Technology, regionQubits int) MovementMod
 	}
 }
 
-// Validate reports an error for non-physical movement parameters.
+// Validate reports an error for non-physical movement parameters.  Both the
+// microarchitecture simulations (microarch.Config) and the interconnect
+// replayer (network.Config) call it before running, so a negative, NaN or
+// infinite latency fails fast instead of silently producing nonsense
+// makespans.
 func (m MovementModel) Validate() error {
-	if m.BallisticPerGateUs < 0 || m.TeleportUs < 0 {
-		return fmt.Errorf("layout: negative movement latency")
+	for _, l := range []float64{float64(m.BallisticPerGateUs), float64(m.TeleportUs)} {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("layout: non-finite movement latency %v", l)
+		}
+		if l < 0 {
+			return fmt.Errorf("layout: negative movement latency %v", l)
+		}
 	}
 	if m.TeleportAncillae < 0 {
 		return fmt.Errorf("layout: negative teleport ancilla count")
@@ -167,6 +176,32 @@ func PlanTile(tech iontrap.Technology, dataQubits int, zeroPerMs, pi8PerMs float
 	}, nil
 }
 
+// MeshDims returns the near-square 2D mesh dimensions the teleport
+// interconnect arranges n tiles on (Section 5.3): cols is ceil(sqrt(n)) and
+// rows the smallest count covering n, so only the last row may be partial.
+// Non-positive n returns (0, 0).
+func MeshDims(n int) (cols, rows int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	cols = int(math.Ceil(math.Sqrt(float64(n))))
+	rows = (n + cols - 1) / cols
+	return cols, rows
+}
+
+// LinkPorts returns the number of teleport channel ports along one edge of
+// the tile: the side length of its square footprint in macroblocks.  Each
+// port terminates one EPR distribution channel of the inter-tile link, so
+// link bandwidth grows with tile perimeter the way the paper's interconnect
+// discussion assumes.
+func (t Tile) LinkPorts() int {
+	side := int(math.Ceil(math.Sqrt(float64(t.TotalArea()))))
+	if side < 1 {
+		side = 1
+	}
+	return side
+}
+
 // Qalypso is a complete tiled microarchitecture (Figure 16a): identical tiles
 // joined by a teleport-based interconnect.
 type Qalypso struct {
@@ -237,6 +272,20 @@ func (q Qalypso) ZeroBandwidthPerMs() float64 {
 		total += t.ZeroBandwidthPerMs()
 	}
 	return total
+}
+
+// MeshDims returns the near-square mesh arrangement of the machine's tiles.
+func (q Qalypso) MeshDims() (cols, rows int) { return MeshDims(len(q.Tiles)) }
+
+// LinkEPRPerMs derives the EPR-pair distribution bandwidth of one inter-tile
+// link from the machine's geometry: each of the LinkPorts channel ports along
+// the shared tile edge sustains one distributed pair per teleport latency.
+// Machines with no tiles or a non-positive teleport latency report zero.
+func (q Qalypso) LinkEPRPerMs() float64 {
+	if len(q.Tiles) == 0 || q.Movement.TeleportUs <= 0 {
+		return 0
+	}
+	return float64(q.Tiles[0].LinkPorts()) * 1000.0 / float64(q.Movement.TeleportUs)
 }
 
 // Pi8BandwidthPerMs is the chip-wide encoded-π/8 production rate.

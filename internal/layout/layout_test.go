@@ -238,3 +238,79 @@ func TestPlanQalypsoSingleQubit(t *testing.T) {
 		t.Errorf("tile under-provisioned: %v < 5", q.ZeroBandwidthPerMs())
 	}
 }
+
+func TestMeshDims(t *testing.T) {
+	cases := []struct{ n, cols, rows int }{
+		{0, 0, 0}, {-1, 0, 0}, {1, 1, 1}, {2, 2, 1}, {3, 2, 2}, {4, 2, 2},
+		{5, 3, 2}, {6, 3, 2}, {9, 3, 3}, {10, 4, 3}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		cols, rows := MeshDims(c.n)
+		if cols != c.cols || rows != c.rows {
+			t.Errorf("MeshDims(%d) = (%d, %d), want (%d, %d)", c.n, cols, rows, c.cols, c.rows)
+		}
+		if c.n > 0 {
+			if cols*rows < c.n {
+				t.Errorf("MeshDims(%d) = %dx%d does not cover the tiles", c.n, cols, rows)
+			}
+			if cols*(rows-1) >= c.n {
+				t.Errorf("MeshDims(%d) = %dx%d leaves a whole row empty", c.n, cols, rows)
+			}
+		}
+	}
+}
+
+func TestLinkPortsAndEPRBandwidth(t *testing.T) {
+	tech := iontrap.Default()
+	tile, err := PlanTile(tech, 32, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := tile.LinkPorts()
+	wantSide := int(math.Ceil(math.Sqrt(float64(tile.TotalArea()))))
+	if ports != wantSide {
+		t.Errorf("LinkPorts = %d, want footprint side %d", ports, wantSide)
+	}
+	// A degenerate tile still exposes at least one port.
+	if (Tile{}).LinkPorts() < 1 {
+		t.Error("empty tile should still have one port")
+	}
+
+	q, err := PlanQalypso(tech, 64, 32, 200, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, rows := q.MeshDims()
+	if wc, wr := MeshDims(len(q.Tiles)); cols != wc || rows != wr {
+		t.Errorf("Qalypso.MeshDims = (%d, %d), want (%d, %d)", cols, rows, wc, wr)
+	}
+	// One pair per teleport latency per edge port.
+	want := float64(q.Tiles[0].LinkPorts()) * 1000.0 / float64(q.Movement.TeleportUs)
+	if got := q.LinkEPRPerMs(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("LinkEPRPerMs = %v, want %v", got, want)
+	}
+	if (Qalypso{}).LinkEPRPerMs() != 0 {
+		t.Error("tile-less machine should report zero link bandwidth")
+	}
+	zeroTele := q
+	zeroTele.Movement.TeleportUs = 0
+	if zeroTele.LinkEPRPerMs() != 0 {
+		t.Error("zero teleport latency should report zero link bandwidth")
+	}
+}
+
+func TestMovementModelValidateRejectsNonFinite(t *testing.T) {
+	good := DefaultMovementModel(iontrap.Default(), 32)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default movement model invalid: %v", err)
+	}
+	for _, m := range []MovementModel{
+		{BallisticPerGateUs: iontrap.Microseconds(math.NaN())},
+		{TeleportUs: iontrap.Microseconds(math.Inf(1))},
+		{BallisticPerGateUs: iontrap.Microseconds(math.Inf(-1))},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", m)
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 
 	"speedofdata/internal/circuits"
 	"speedofdata/internal/engine"
+	"speedofdata/internal/iontrap"
+	"speedofdata/internal/network"
 	"speedofdata/internal/quantum"
 	"speedofdata/internal/schedule"
 )
@@ -292,11 +294,11 @@ func TestDefaultScales(t *testing.T) {
 func TestLRUCache(t *testing.T) {
 	cache := newLRUCache(2)
 	miss, evicted := cache.touch(1)
-	if !miss || evicted {
+	if !miss || evicted >= 0 {
 		t.Error("first access should miss without eviction")
 	}
 	miss, evicted = cache.touch(2)
-	if !miss || evicted {
+	if !miss || evicted >= 0 {
 		t.Error("second access should miss without eviction")
 	}
 	miss, _ = cache.touch(1)
@@ -304,8 +306,8 @@ func TestLRUCache(t *testing.T) {
 		t.Error("resident qubit should hit")
 	}
 	miss, evicted = cache.touch(3)
-	if !miss || !evicted {
-		t.Error("capacity exceeded should evict")
+	if !miss || evicted != 2 {
+		t.Errorf("capacity exceeded should evict the LRU qubit 2, got %d", evicted)
 	}
 	// Qubit 2 was least recently used and must be gone; 1 must remain.
 	if m, _ := cache.touch(1); m {
@@ -422,5 +424,86 @@ func TestParseArchitecture(t *testing.T) {
 		if err != nil || got != a {
 			t.Errorf("round-trip %v failed: %v, %v", a, got, err)
 		}
+	}
+}
+
+// Non-physical movement parameters must fail Config.Validate (and therefore
+// Simulate) up front instead of leaking negative or NaN latencies into
+// makespans.
+func TestConfigRejectsNonPhysicalMovement(t *testing.T) {
+	c := benchmarkCircuit(t, circuits.QRCA, 4)
+	for _, mutate := range []func(*Config){
+		func(cfg *Config) { cfg.Movement.TeleportUs = -1 },
+		func(cfg *Config) { cfg.Movement.BallisticPerGateUs = iontrap.Microseconds(math.NaN()) },
+		func(cfg *Config) { cfg.Movement.TeleportUs = iontrap.Microseconds(math.Inf(1)) },
+		func(cfg *Config) { cfg.Movement.TeleportAncillae = -1 },
+	} {
+		cfg := DefaultConfig(QLA)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v should be invalid", cfg.Movement)
+		}
+		if _, err := Simulate(c, cfg); err == nil {
+			t.Errorf("Simulate accepted non-physical movement %+v", cfg.Movement)
+		}
+	}
+}
+
+// With a mesh configured, teleport accounting delegates to the network cost
+// model: a 1x1 mesh reproduces the flat model bit for bit, and a spread-out
+// mesh pays routed multi-hop teleports, so it can only slow execution down
+// and consume more ancillae.
+func TestNetworkDelegatedTeleportAccounting(t *testing.T) {
+	c := benchmarkCircuit(t, circuits.QCLA, 8)
+	for _, arch := range []Architecture{QLA, CQLA} {
+		flatCfg := DefaultConfig(arch)
+		flat, err := Simulate(c, flatCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		oneTile := flatCfg
+		oneTile.Network = network.Topology{Cols: 1, Rows: 1, TileQubits: c.NumQubits}
+		same, err := Simulate(c, oneTile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if same != flat {
+			t.Errorf("%v: 1x1 mesh diverged from the flat model:\n got %+v\nwant %+v", arch, same, flat)
+		}
+
+		spread := flatCfg
+		spread.Network = network.Topology{Cols: 2, Rows: 2, TileQubits: (c.NumQubits + 3) / 4}
+		routed, err := Simulate(c, spread)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if routed.ExecutionTime < flat.ExecutionTime {
+			t.Errorf("%v: routed teleports sped execution up (%v < %v)", arch, routed.ExecutionTime, flat.ExecutionTime)
+		}
+		if routed.AncillaeConsumed < flat.AncillaeConsumed {
+			t.Errorf("%v: routed teleports consumed fewer ancillae (%d < %d)",
+				arch, routed.AncillaeConsumed, flat.AncillaeConsumed)
+		}
+		if routed.Teleports != flat.Teleports {
+			t.Errorf("%v: routing changed the teleport count (%d != %d)", arch, routed.Teleports, flat.Teleports)
+		}
+
+		// The closed form shares the cost model, so the parity guarantee
+		// holds with a mesh configured too.
+		closed, err := SimulateClosedForm(c, spread)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if closed.ExecutionTime != routed.ExecutionTime {
+			t.Errorf("%v: mesh broke event/closed-form parity (%v != %v)",
+				arch, closed.ExecutionTime, routed.ExecutionTime)
+		}
+	}
+
+	bad := DefaultConfig(QLA)
+	bad.Network = network.Topology{Cols: 0, Rows: 1, TileQubits: 1}
+	if _, err := Simulate(c, bad); err == nil {
+		t.Error("invalid mesh topology should fail validation")
 	}
 }

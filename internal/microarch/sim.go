@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"speedofdata/internal/iontrap"
+	"speedofdata/internal/network"
 	"speedofdata/internal/quantum"
 	"speedofdata/internal/sim"
 )
@@ -55,12 +56,13 @@ func newLRUCache(capacity int) *lruCache {
 }
 
 // touch marks a qubit as resident and most recently used, reporting whether
-// the access missed and whether the miss required evicting another qubit.
-func (c *lruCache) touch(q int) (miss, evicted bool) {
+// the access missed and which qubit (if any) the miss evicted (-1 for none).
+func (c *lruCache) touch(q int) (miss bool, evicted int) {
 	c.stamp++
+	evicted = -1
 	if _, ok := c.entries[q]; ok {
 		c.entries[q] = c.stamp
-		return false, false
+		return false, evicted
 	}
 	miss = true
 	if len(c.entries) >= c.capacity {
@@ -71,7 +73,7 @@ func (c *lruCache) touch(q int) (miss, evicted bool) {
 			}
 		}
 		delete(c.entries, oldestQ)
-		evicted = true
+		evicted = oldestQ
 	}
 	c.entries[q] = c.stamp
 	return miss, evicted
@@ -111,9 +113,11 @@ func sourceRates(cfg Config, nQubits int) ([]float64, error) {
 // it with gates in the same order, which keeps their arithmetic — and
 // therefore their results — identical.
 type costModel struct {
-	cfg   Config
-	cache *lruCache
-	res   *Result
+	cfg    Config
+	cache  *lruCache
+	topo   network.Topology
+	routed bool // a mesh is configured; teleports pay routed distances
+	res    *Result
 
 	perQEC       float64
 	teleportCost float64
@@ -124,6 +128,8 @@ type costModel struct {
 func newCostModel(cfg Config, res *Result) *costModel {
 	m := &costModel{
 		cfg:          cfg,
+		topo:         cfg.Network,
+		routed:       cfg.Network != (network.Topology{}),
 		res:          res,
 		perQEC:       float64(cfg.Latency.ZeroAncillaePerQEC),
 		teleportCost: float64(cfg.Movement.TeleportAncillae),
@@ -136,6 +142,39 @@ func newCostModel(cfg Config, res *Result) *costModel {
 	return m
 }
 
+// routedHops returns the routed distance multiplier of one teleport between
+// two tiles.  Without a mesh every teleport is the flat single hop of the
+// original model; with one it is the dimension-order hop distance, floored
+// at one hop so a configured mesh never undercuts the flat model (and a 1x1
+// mesh reproduces it exactly).
+func (m *costModel) routedHops(tileA, tileB int) float64 {
+	if !m.routed {
+		return 1
+	}
+	d := m.topo.HopDistance(tileA, tileB)
+	if d < 1 {
+		d = 1
+	}
+	return float64(d)
+}
+
+// hopsBetween is routedHops between two qubits' home tiles.
+func (m *costModel) hopsBetween(q1, q2 int) float64 {
+	if !m.routed {
+		return 1
+	}
+	return m.routedHops(m.topo.TileOf(q1), m.topo.TileOf(q2))
+}
+
+// hopsToCache is routedHops from a qubit's home to the compute cache of
+// CQLA/GCQLA, which sits at the mesh origin (tile 0).
+func (m *costModel) hopsToCache(q int) float64 {
+	if !m.routed {
+		return 1
+	}
+	return m.routedHops(m.topo.TileOf(q), 0)
+}
+
 // dispatch accounts one gate: the source it draws ancillae from, the extra
 // movement latency, and the encoded ancillae consumed.  It must be called in
 // issue order (the cache state is order-sensitive).
@@ -145,11 +184,13 @@ func (m *costModel) dispatch(g quantum.Gate) (site int, extraLatency, ancillae f
 	case QLA, GQLA:
 		// Two-qubit gates teleport the first operand to the second's home
 		// cell and back; QEC and teleport ancillae come from the execution
-		// site's dedicated generator.
+		// site's dedicated generator.  With a mesh configured, both trips
+		// pay the routed distance between the operands' tiles.
 		site = g.Qubits[len(g.Qubits)-1]
 		if g.Kind.Arity() >= 2 {
-			extraLatency += 2 * m.teleportUs
-			ancillae += 2 * m.teleportCost
+			h := m.hopsBetween(g.Qubits[0], site)
+			extraLatency += 2 * h * m.teleportUs
+			ancillae += 2 * h * m.teleportCost
 			m.res.Teleports += 2
 		}
 	case CQLA, GCQLA:
@@ -160,12 +201,14 @@ func (m *costModel) dispatch(g quantum.Gate) (site int, extraLatency, ancillae f
 			miss, evicted := m.cache.touch(q)
 			if miss {
 				m.res.CacheMisses++
-				extraLatency += m.teleportUs
-				ancillae += m.teleportCost
+				h := m.hopsToCache(q)
+				extraLatency += h * m.teleportUs
+				ancillae += h * m.teleportCost
 				m.res.Teleports++
-				if evicted {
-					extraLatency += m.teleportUs
-					ancillae += m.teleportCost
+				if evicted >= 0 {
+					h = m.hopsToCache(evicted)
+					extraLatency += h * m.teleportUs
+					ancillae += h * m.teleportCost
 					m.res.Teleports++
 				}
 			}

@@ -1,0 +1,390 @@
+package network
+
+import (
+	"fmt"
+
+	"speedofdata/internal/iontrap"
+	"speedofdata/internal/quantum"
+	"speedofdata/internal/schedule"
+	"speedofdata/internal/sim"
+)
+
+// ReplayResult is one circuit's share of a routed-mesh replay.  It embeds
+// the where-time-went decomposition shared with internal/schedule (compute
+// busy, factory-starved AncillaWait, NetworkBlocked) and adds the
+// interconnect metrics only a routed mesh has.
+type ReplayResult struct {
+	schedule.ReplayResult
+	// CrossGates counts multi-qubit gates whose operands spanned tiles and
+	// therefore issued routed teleports.
+	CrossGates int
+	// Teleports counts routed operand movements; every cross-tile gate
+	// teleports each remote operand to the execution tile and back, so it
+	// contributes two per remote operand.
+	Teleports int
+	// Hops counts link traversals summed over all teleports.
+	Hops int
+	// HopHistogram[d] counts teleports whose one-way route was d links
+	// long; index 0 exists but stays zero (local operands never teleport).
+	HopHistogram []int
+	// TeleportAncillae counts the encoded zeros consumed by teleports, a
+	// subset of AncillaeConsumed.
+	TeleportAncillae int
+}
+
+// LinkStat reports one directed link's behaviour over a replay.
+type LinkStat struct {
+	// Link identifies the channel.
+	Link Link
+	// PairsConsumed is the number of EPR pairs teleports drew through it.
+	PairsConsumed float64
+	// HighWater is the peak buffered pair level the channel reached.
+	HighWater float64
+	// ProducerStall is the time the link's pair generator spent blocked on
+	// a full channel buffer.
+	ProducerStall iontrap.Microseconds
+}
+
+// ReplayRun is a completed routed-mesh replay.
+type ReplayRun struct {
+	// Results holds one entry per replayed circuit.
+	Results []ReplayResult
+	// Topology is the mesh the run executed on.
+	Topology Topology
+	// Partitions records each circuit's qubit→tile assignment.
+	Partitions []Partition
+	// Makespan is the completion time across every circuit.
+	Makespan iontrap.Microseconds
+	// Events is the number of kernel events processed.
+	Events int
+	// Links holds per-channel statistics in Topology.Links order (empty on
+	// a 1-tile mesh).
+	Links []LinkStat
+}
+
+// MaxLinkHighWater returns the largest buffered-pair peak across links.
+func (r ReplayRun) MaxLinkHighWater() float64 {
+	max := 0.0
+	for _, l := range r.Links {
+		if l.HighWater > max {
+			max = l.HighWater
+		}
+	}
+	return max
+}
+
+// Replay executes one circuit's dataflow graph across the configured mesh.
+// On a 1-tile mesh every gate is local and the run reproduces the fluid-mode
+// schedule.Replay bit for bit (same issue order, same token-bucket
+// arithmetic) provided the config charges nothing schedule.Replay cannot
+// model: Movement.BallisticPerGateUs zero and TileZeroRatePerMs equal to
+// the supply rate.  Multi-tile meshes add routed teleports, link contention
+// and per-tile ancilla accounting the single-region replay cannot express.
+func Replay(c *quantum.Circuit, cfg Config) (ReplayRun, error) {
+	return ReplayShared([]*quantum.Circuit{c}, cfg)
+}
+
+// ReplayShared co-schedules several circuits on one mesh — the network
+// contention scenario: each circuit is partitioned across the same tiles,
+// and all of them compete for the same links and the same per-tile zero
+// factories.  Gates issue in first-come-first-served order of data readiness
+// (ties broken by circuit, then gate index), exactly like
+// schedule.ReplayShared.
+func ReplayShared(cs []*quantum.Circuit, cfg Config) (ReplayRun, error) {
+	if err := cfg.Validate(); err != nil {
+		return ReplayRun{}, err
+	}
+	if len(cs) == 0 {
+		return ReplayRun{}, fmt.Errorf("network: no circuits to replay")
+	}
+	m := cfg.Latency
+	topo := NewTopology(len(cfg.Machine.Tiles))
+	nTiles := topo.TileCount()
+	maxDist := topo.Cols + topo.Rows - 1
+
+	run := ReplayRun{
+		Topology:   topo,
+		Results:    make([]ReplayResult, len(cs)),
+		Partitions: make([]Partition, len(cs)),
+	}
+	type flatGate struct {
+		circuit int
+		gate    int
+	}
+	var flat []flatGate
+	dags := make([]*quantum.DAG, len(cs))
+	offsets := make([]int, len(cs))
+	if len(cfg.Partitions) > 0 && len(cfg.Partitions) != len(cs) {
+		return ReplayRun{}, fmt.Errorf("network: %d pinned partitions for %d circuits", len(cfg.Partitions), len(cs))
+	}
+	for ci, c := range cs {
+		if err := c.Validate(); err != nil {
+			return ReplayRun{}, err
+		}
+		var part Partition
+		if len(cfg.Partitions) > 0 {
+			part = cfg.Partitions[ci]
+			if part.Tiles != nTiles || len(part.TileOf) != c.NumQubits {
+				return ReplayRun{}, fmt.Errorf("network: pinned partition %d covers %d qubits on %d tiles, want %d on %d",
+					ci, len(part.TileOf), part.Tiles, c.NumQubits, nTiles)
+			}
+		} else {
+			var err error
+			if part, err = PartitionCircuit(c, nTiles); err != nil {
+				return ReplayRun{}, err
+			}
+		}
+		run.Partitions[ci] = part
+		dags[ci] = quantum.BuildDAG(c)
+		offsets[ci] = len(flat)
+		for gi := range c.Gates {
+			flat = append(flat, flatGate{circuit: ci, gate: gi})
+		}
+		r := &run.Results[ci]
+		r.Name = c.Name
+		r.Gates = len(c.Gates)
+		r.CrossGates = part.CrossGates
+		r.HopHistogram = make([]int, maxDist)
+		_, sod := dags[ci].WeightedCriticalPath(func(g quantum.Gate) float64 {
+			return float64(m.GateWeightSpeedOfData(g))
+		})
+		r.SpeedOfData = iontrap.Microseconds(sod)
+		for _, g := range c.Gates {
+			r.DataOpBusy += m.DataOpLatency(g)
+			r.QECInteractBusy += m.QECInteractLatency()
+		}
+	}
+	total := len(flat)
+	if total == 0 {
+		return run, nil
+	}
+
+	k := sim.NewKernel()
+	perGate := float64(m.ZeroAncillaePerQEC)
+	teleAncillae := cfg.Machine.Movement.TeleportAncillae
+	teleAnc := float64(teleAncillae)
+	teleUs := float64(cfg.Machine.Movement.TeleportUs)
+	ballisticUs := float64(cfg.Machine.Movement.BallisticPerGateUs)
+
+	// Per-tile zero supplies are fluid token buckets (the same arithmetic
+	// schedule.Replay uses), fed by the tile's own factories.
+	pools := make([]*sim.FluidSource, nTiles)
+	for i := range pools {
+		var err error
+		if pools[i], err = sim.NewFluidSource(cfg.tileRatePerMs(i) / 1000.0); err != nil {
+			return ReplayRun{}, err
+		}
+	}
+	// Each directed link is a finite EPR-pair channel behind a rate-matched
+	// generator.
+	links := topo.Links()
+	linkIdx := make(map[Link]int, len(links))
+	buffers := make([]*sim.Resource, len(links))
+	producers := make([]*sim.Producer, len(links))
+	linkRatePerUs := cfg.linkRatePerMs() / 1000.0
+	for i, l := range links {
+		linkIdx[l] = i
+		name := "EPR link " + l.String()
+		buffers[i] = sim.NewResource(k, name, cfg.LinkBufferPairs)
+		var err error
+		if producers[i], err = sim.NewProducer(k, name, buffers[i], linkRatePerUs, 1); err != nil {
+			return ReplayRun{}, err
+		}
+		producers[i].Start()
+	}
+
+	ready := make([]float64, total)
+	indeg := make([]int, total)
+	for ci, d := range dags {
+		copy(indeg[offsets[ci]:offsets[ci]+len(d.InDegree)], d.InDegree)
+	}
+
+	rq := &sim.TaskQueue{}
+	finished := 0
+	dispatchScheduled := false
+	waits := make([]float64, len(cs))
+	netBlocked := make([]float64, len(cs))
+	makespans := make([]float64, len(cs))
+	makespan := 0.0
+
+	var dispatch func()
+	scheduleDispatch := func() {
+		if !dispatchScheduled {
+			dispatchScheduled = true
+			k.At(k.Now(), sim.PriorityLate, dispatch)
+		}
+	}
+	finishGate := func(fi int, finishAt float64) {
+		fg := flat[fi]
+		if finishAt > makespans[fg.circuit] {
+			makespans[fg.circuit] = finishAt
+		}
+		if finishAt > makespan {
+			makespan = finishAt
+		}
+		k.At(iontrap.Microseconds(finishAt), sim.PriorityNormal, func() {
+			finished++
+			for _, s := range dags[fg.circuit].Succ[fg.gate] {
+				si := offsets[fg.circuit] + s
+				if finishAt > ready[si] {
+					ready[si] = finishAt
+				}
+				indeg[si]--
+				if indeg[si] == 0 {
+					rq.Push(sim.Task{Index: si, Ready: ready[si]})
+					scheduleDispatch()
+				}
+			}
+			if finished == total {
+				k.Stop()
+			}
+		})
+	}
+
+	// teleport walks one routed operand movement hop by hop: each hop
+	// acquires an EPR pair from its link (queueing is network-blocked time),
+	// draws the teleport ancillae from the departing tile's zero supply
+	// (waiting there is factory-starved time), then transits for the
+	// movement model's teleport latency.  done fires at the arrival time.
+	var teleport func(ci int, route []Link, hop int, done func(arrive float64))
+	teleport = func(ci int, route []Link, hop int, done func(arrive float64)) {
+		if hop == len(route) {
+			done(float64(k.Now()))
+			return
+		}
+		res := &run.Results[ci]
+		l := route[hop]
+		hopReady := float64(k.Now())
+		buffers[linkIdx[l]].Acquire(1, func() {
+			granted := float64(k.Now())
+			netBlocked[ci] += granted - hopReady
+			depart := granted
+			if teleAnc > 0 {
+				if t := pools[l.From].AvailableAt(teleAnc); t > depart {
+					depart = t
+				}
+			}
+			waits[ci] += depart - granted
+			res.TeleportAncillae += teleAncillae
+			res.AncillaeConsumed += teleAncillae
+			res.Hops++
+			arrive := depart + teleUs
+			netBlocked[ci] += arrive - depart
+			k.At(iontrap.Microseconds(arrive), sim.PriorityNormal, func() {
+				teleport(ci, route, hop+1, done)
+			})
+		})
+	}
+
+	// issueGate runs a gate's execution phase at the given start time: QEC
+	// ancillae from the execution tile, then ballistic movement (multi-qubit
+	// gates) and the gate itself.  It returns the execution finish time.
+	issueGate := func(ci int, g quantum.Gate, start float64, execTile int) float64 {
+		res := &run.Results[ci]
+		issue := start
+		if t := pools[execTile].AvailableAt(perGate); t > issue {
+			issue = t
+		}
+		waits[ci] += issue - start
+		res.AncillaeConsumed += m.ZeroAncillaePerQEC
+		extra := 0.0
+		if g.Kind.Arity() >= 2 {
+			extra = ballisticUs
+		}
+		return issue + extra + float64(m.GateWeightSpeedOfData(g))
+	}
+
+	dispatch = func() {
+		dispatchScheduled = false
+		for rq.Len() > 0 {
+			item := rq.Pop()
+			fi := item.Index
+			fg := flat[fi]
+			ci := fg.circuit
+			g := cs[ci].Gates[fg.gate]
+			part := run.Partitions[ci]
+			execTile := part.TileOf[g.Qubits[len(g.Qubits)-1]]
+			var moves [][]Link
+			for _, q := range g.Qubits[:len(g.Qubits)-1] {
+				if from := part.TileOf[q]; from != execTile {
+					moves = append(moves, topo.Route(from, execTile))
+				}
+			}
+			start := item.Ready
+			if len(moves) == 0 {
+				finishGate(fi, issueGate(ci, g, start, execTile))
+				continue
+			}
+			res := &run.Results[ci]
+			inbound := len(moves)
+			arrival := start
+			arrived := func(arrive float64) {
+				if arrive > arrival {
+					arrival = arrive
+				}
+				inbound--
+				if inbound > 0 {
+					return
+				}
+				execDone := issueGate(ci, g, arrival, execTile)
+				// Return the moved operands home; the gate completes (and
+				// unblocks its successors) once placement is restored, the
+				// same to-and-back convention the microarch teleport
+				// accounting uses.
+				k.At(iontrap.Microseconds(execDone), sim.PriorityNormal, func() {
+					outbound := len(moves)
+					retDone := execDone
+					for _, route := range moves {
+						back := topo.Route(route[len(route)-1].To, route[0].From)
+						res.Teleports++
+						res.HopHistogram[len(back)]++
+						teleport(ci, back, 0, func(arrive float64) {
+							if arrive > retDone {
+								retDone = arrive
+							}
+							outbound--
+							if outbound == 0 {
+								finishGate(fi, retDone)
+							}
+						})
+					}
+				})
+			}
+			for _, route := range moves {
+				res.Teleports++
+				res.HopHistogram[len(route)]++
+				teleport(ci, route, 0, arrived)
+			}
+		}
+	}
+
+	for fi, d := range indeg {
+		if d == 0 {
+			rq.Push(sim.Task{Index: fi, Ready: 0})
+		}
+	}
+	k.At(0, sim.PriorityLate, dispatch)
+	dispatchScheduled = true
+	stats := k.Run()
+
+	if finished != total {
+		return ReplayRun{}, fmt.Errorf("network: replay left %d gates unexecuted (cyclic dependence graph?)", total-finished)
+	}
+	for ci := range cs {
+		run.Results[ci].ExecutionTime = iontrap.Microseconds(makespans[ci])
+		run.Results[ci].AncillaWait = iontrap.Microseconds(waits[ci])
+		run.Results[ci].NetworkBlocked = iontrap.Microseconds(netBlocked[ci])
+	}
+	run.Makespan = iontrap.Microseconds(makespan)
+	run.Events = stats.Events
+	run.Links = make([]LinkStat, len(links))
+	for i, l := range links {
+		run.Links[i] = LinkStat{
+			Link:          l,
+			PairsConsumed: buffers[i].Consumed(),
+			HighWater:     buffers[i].HighWater(),
+			ProducerStall: producers[i].StallTime(),
+		}
+	}
+	return run, nil
+}

@@ -1,0 +1,189 @@
+package network
+
+import (
+	"fmt"
+
+	"speedofdata/internal/layout"
+)
+
+// Link is one directed inter-tile channel of the mesh.  Each direction of a
+// physical tile boundary is its own channel: it has its own EPR-pair
+// generator and buffer, so traffic flowing east never contends with traffic
+// flowing west across the same boundary.
+type Link struct {
+	From, To int
+}
+
+// String renders the link the way the replay diagnostics name it.
+func (l Link) String() string { return fmt.Sprintf("%d->%d", l.From, l.To) }
+
+// Topology is the 2D mesh arrangement of a tiled Qalypso machine
+// (Section 5.3): tile i sits at mesh coordinate (i mod Cols, i div Cols),
+// and teleports route between tiles with deterministic dimension-order
+// routing.  The zero value is invalid; build with NewTopology or fill the
+// fields and Validate.
+type Topology struct {
+	// Cols and Rows are the mesh dimensions.
+	Cols, Rows int
+	// Tiles is the number of populated tiles; only the last row may be
+	// partial.  Zero means the full Cols×Rows grid.
+	Tiles int
+	// TileQubits is the block size of the static block-cyclic qubit→tile
+	// mapping used by TileOf (the microarch delegation path).  The routed
+	// replayer assigns qubits with PartitionCircuit instead and ignores it.
+	TileQubits int
+}
+
+// NewTopology arranges n tiles on a near-square mesh (layout.MeshDims) with
+// a unit block mapping.
+func NewTopology(n int) Topology {
+	cols, rows := layout.MeshDims(n)
+	return Topology{Cols: cols, Rows: rows, Tiles: n, TileQubits: 1}
+}
+
+// TileCount returns the number of populated tiles.
+func (t Topology) TileCount() int {
+	if t.Tiles > 0 {
+		return t.Tiles
+	}
+	return t.Cols * t.Rows
+}
+
+// Validate rejects meshes no route can be computed on.
+func (t Topology) Validate() error {
+	if t.Cols < 1 || t.Rows < 1 {
+		return fmt.Errorf("network: mesh dimensions %dx%d must be positive", t.Cols, t.Rows)
+	}
+	if t.Tiles < 0 || t.Tiles > t.Cols*t.Rows {
+		return fmt.Errorf("network: %d tiles do not fit a %dx%d mesh", t.Tiles, t.Cols, t.Rows)
+	}
+	if t.Tiles > 0 && t.Tiles <= t.Cols*(t.Rows-1) {
+		return fmt.Errorf("network: %d tiles leave whole rows of a %dx%d mesh empty", t.Tiles, t.Cols, t.Rows)
+	}
+	if t.TileQubits < 1 {
+		return fmt.Errorf("network: tile qubit block size %d must be positive", t.TileQubits)
+	}
+	return nil
+}
+
+// Coord returns tile i's mesh coordinate.
+func (t Topology) Coord(i int) (x, y int) { return i % t.Cols, i / t.Cols }
+
+// Index returns the tile at mesh coordinate (x, y).
+func (t Topology) Index(x, y int) int { return y*t.Cols + x }
+
+// TileOf maps a qubit to its tile under the static block-cyclic mapping:
+// consecutive blocks of TileQubits qubits fill consecutive tiles, wrapping
+// around when the qubit count exceeds the mesh.
+func (t Topology) TileOf(q int) int {
+	if q < 0 {
+		return 0
+	}
+	return (q / t.TileQubits) % t.TileCount()
+}
+
+// HopDistance returns the routed distance between two tiles in links: the
+// Manhattan distance on the mesh.  The partial-row fallback in Route never
+// changes the length, only the order of the legs.
+func (t Topology) HopDistance(a, b int) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// Route returns the directed links of the deterministic dimension-order
+// (X-then-Y) route from tile a to tile b.  When the X-first leg would cross
+// an unpopulated cell of a partial last row, the route runs Y-then-X
+// instead, which stays on populated tiles and has the same length.
+func (t Topology) Route(a, b int) []Link {
+	if a == b {
+		return nil
+	}
+	if r, ok := t.walk(a, b, true); ok {
+		return r
+	}
+	r, _ := t.walk(a, b, false)
+	return r
+}
+
+// walk builds one dimension-order route, X legs first or Y legs first,
+// reporting failure if it would step onto an unpopulated cell.
+func (t Topology) walk(a, b int, xFirst bool) ([]Link, bool) {
+	n := t.TileCount()
+	x, y := t.Coord(a)
+	bx, by := t.Coord(b)
+	route := make([]Link, 0, t.HopDistance(a, b))
+	cur := a
+	step := func() bool {
+		next := t.Index(x, y)
+		if next >= n {
+			return false
+		}
+		route = append(route, Link{From: cur, To: next})
+		cur = next
+		return true
+	}
+	walkX := func() bool {
+		for x != bx {
+			x += sign(bx - x)
+			if !step() {
+				return false
+			}
+		}
+		return true
+	}
+	walkY := func() bool {
+		for y != by {
+			y += sign(by - y)
+			if !step() {
+				return false
+			}
+		}
+		return true
+	}
+	if xFirst {
+		if !walkX() || !walkY() {
+			return nil, false
+		}
+	} else {
+		if !walkY() || !walkX() {
+			return nil, false
+		}
+	}
+	return route, true
+}
+
+// Links returns every directed link between adjacent populated tiles in a
+// stable order (ascending source tile; east, west, south, north neighbour),
+// which is what makes link-indexed replay state deterministic.
+func (t Topology) Links() []Link {
+	n := t.TileCount()
+	var links []Link
+	for i := 0; i < n; i++ {
+		x, y := t.Coord(i)
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || nx >= t.Cols || ny < 0 || ny >= t.Rows {
+				continue
+			}
+			if j := t.Index(nx, ny); j < n {
+				links = append(links, Link{From: i, To: j})
+			}
+		}
+	}
+	return links
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sign(v int) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

@@ -54,6 +54,12 @@ type ReplayResult struct {
 	// beyond data readiness — the time the Table 2 "ancilla prep" column
 	// turns into when preparation is overlapped but supply-limited.
 	AncillaWait iontrap.Microseconds
+	// NetworkBlocked is the total time gates spent in the teleport
+	// interconnect: EPR-pair queueing at contended links plus hop transit.
+	// The single-region replays of this package never touch the interconnect
+	// and leave it zero; the routed mesh replayer (internal/network) embeds
+	// this type and fills it in, so both report one where-time-went shape.
+	NetworkBlocked iontrap.Microseconds
 	// AncillaeConsumed counts encoded zeros drawn from the supply.
 	AncillaeConsumed int
 	// Gates is the circuit's gate count.

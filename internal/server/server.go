@@ -15,8 +15,9 @@
 //	                           format (json, csv, text; default json),
 //	                           bits, trials, seed, buckets, benchmark,
 //	                           scale (alias max-scale), arch, buffer
-//	                           (ancilla buffer capacity of the event-driven
-//	                           scenarios; 0 = infinite)
+//	                           (ancilla/EPR buffer capacity of the
+//	                           event-driven scenarios; 0 = infinite), tiles
+//	                           (mesh tile bound of the network scenarios)
 //	/v1/progress               SSE stream of engine job completions
 //	/v1/cache                  engine cache and coalescing statistics
 //	/v1/healthz                liveness probe
@@ -129,6 +130,7 @@ func (s *Server) queryParams(r *http.Request) (core.Experiments, core.RunParams,
 		"trials":  &p.Trials,
 		"buckets": &p.Buckets,
 		"buffer":  &p.Buffer,
+		"tiles":   &p.Tiles,
 	} {
 		if err := intParam(name, dst); err != nil {
 			return exp, p, err
@@ -172,6 +174,7 @@ func (s *Server) queryParams(r *http.Request) (core.Experiments, core.RunParams,
 		{"buckets", p.Buckets, maxBuckets},
 		{"scale", p.MaxScale, maxRequestScale},
 		{"buffer", p.Buffer, maxRequestBuffer},
+		{"tiles", p.Tiles, maxRequestTiles},
 	} {
 		if lim.got > lim.max {
 			return exp, p, fmt.Errorf("invalid %s: %d exceeds the server limit %d", lim.name, lim.got, lim.max)
@@ -187,6 +190,7 @@ const (
 	maxBuckets       = 100_000
 	maxRequestScale  = 4096
 	maxRequestBuffer = 1_000_000
+	maxRequestTiles  = 64
 )
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
