@@ -169,7 +169,8 @@ func BenchmarkFigure4_PrepErrorRates(b *testing.B) {
 }
 
 // BenchmarkFigure4_MonteCarlo measures the Monte Carlo sampling throughput of
-// the noise simulator on the verify-and-correct circuit.
+// the noise simulator on the verify-and-correct circuit (the compiled dense
+// sampler, the default everywhere).
 func BenchmarkFigure4_MonteCarlo(b *testing.B) {
 	code := steane.NewCode()
 	sim, err := noise.NewSimulator(code, steane.VerifyAndCorrectProtocol(code), noise.DefaultModel())
@@ -179,6 +180,98 @@ func BenchmarkFigure4_MonteCarlo(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.MonteCarlo(2000, int64(i))
+	}
+	b.ReportMetric(2000*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
+}
+
+// BenchmarkNoiseMonteCarloReport times the three Monte Carlo samplers —
+// legacy (the pre-optimisation op interpreter), compiled dense
+// (byte-identical estimates) and sparse (statistically equivalent) — on
+// every Figure 4 preparation circuit and writes BENCH_noise.json: trials
+// per second, allocations per trial and the speedups over legacy, plus a
+// dense-vs-legacy parity check.  `go test -bench NoiseMonteCarloReport
+// -benchtime 1x` refreshes the file; the CI bench smoke does so on every
+// run.  Together with BENCH_sim.json and BENCH_network.json it forms the
+// repository's performance trajectory (see README).
+func BenchmarkNoiseMonteCarloReport(b *testing.B) {
+	type entry struct {
+		Protocol       string  `json:"protocol"`
+		Sampling       string  `json:"sampling"`
+		Trials         int     `json:"trials"`
+		NsPerTrial     float64 `json:"ns_per_trial"`
+		TrialsPerSec   float64 `json:"trials_per_sec"`
+		AllocsPerTrial float64 `json:"allocs_per_trial"`
+		SpeedupVsLeg   float64 `json:"speedup_vs_legacy"`
+		Parity         bool    `json:"parity_with_legacy"`
+	}
+	type document struct {
+		Description     string  `json:"description"`
+		Entries         []entry `json:"entries"`
+		DenseSpeedup    float64 `json:"total_dense_speedup_vs_legacy"`
+		SparseSpeedup   float64 `json:"total_sparse_speedup_vs_legacy"`
+		SparseOverDense float64 `json:"total_sparse_speedup_vs_dense"`
+		ParityFailures  int     `json:"parity_failures"`
+	}
+	const trials = 20000
+	code := steane.NewCode()
+	model := noise.DefaultModel()
+	doc := document{
+		Description: "Monte Carlo sampler comparison on the Figure 4 preparation circuits: legacy interpreter vs compiled dense (byte-identical estimates for a seed) vs sparse fault-set sampling (statistically equivalent), at the paper's error model.",
+	}
+	order := []string{"basic", "verify-only", "correct-only", "verify-and-correct"}
+	protocols := steane.StandardProtocols(code)
+	for i := 0; i < b.N; i++ {
+		doc.Entries = doc.Entries[:0]
+		doc.ParityFailures = 0
+		var legTotal, denseTotal, sparseTotal time.Duration
+		for _, name := range order {
+			var est [3]noise.Estimate
+			var elapsed [3]time.Duration
+			var allocs [3]float64
+			for mi, mode := range []noise.Sampling{noise.SamplingLegacy, noise.SamplingDense, noise.SamplingSparse} {
+				s, err := noise.NewSimulator(code, protocols[name], model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Sampling = mode
+				t0 := time.Now()
+				est[mi] = s.MonteCarlo(trials, 12345)
+				elapsed[mi] = time.Since(t0)
+				allocs[mi] = testing.AllocsPerRun(1, func() { s.MonteCarlo(500, 99) }) / 500
+			}
+			parity := est[1] == est[0]
+			if !parity {
+				doc.ParityFailures++
+			}
+			legTotal += elapsed[0]
+			denseTotal += elapsed[1]
+			sparseTotal += elapsed[2]
+			for mi, mode := range []string{"legacy", "dense", "sparse"} {
+				doc.Entries = append(doc.Entries, entry{
+					Protocol:       name,
+					Sampling:       mode,
+					Trials:         trials,
+					NsPerTrial:     float64(elapsed[mi].Nanoseconds()) / trials,
+					TrialsPerSec:   trials / elapsed[mi].Seconds(),
+					AllocsPerTrial: allocs[mi],
+					SpeedupVsLeg:   elapsed[0].Seconds() / elapsed[mi].Seconds(),
+					Parity:         mi != 2 && parity,
+				})
+			}
+		}
+		doc.DenseSpeedup = legTotal.Seconds() / denseTotal.Seconds()
+		doc.SparseSpeedup = legTotal.Seconds() / sparseTotal.Seconds()
+		doc.SparseOverDense = denseTotal.Seconds() / sparseTotal.Seconds()
+	}
+	b.ReportMetric(doc.DenseSpeedup, "dense-speedup")
+	b.ReportMetric(doc.SparseSpeedup, "sparse-speedup")
+	b.ReportMetric(float64(doc.ParityFailures), "parity-failures")
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_noise.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -62,6 +62,7 @@ func run(args []string, out *os.File) error {
 	bits := fs.Int("bits", 32, "benchmark operand width")
 	trials := fs.Int("trials", noise.DefaultTrials, "Monte Carlo trials for fig4")
 	seed := fs.Int64("seed", 1, "Monte Carlo seed for fig4")
+	sparse := fs.Bool("sparse", false, "use the sparse Monte Carlo sampler for fig4 (faster, statistically equivalent; the default dense sampler is byte-reproducible)")
 	buckets := fs.Int("buckets", schedule.DefaultDemandBuckets, "time buckets for fig7")
 	maxScale := fs.Int("max-scale", microarch.DefaultMaxScale, "largest resource scale for fig15")
 	benchName := fs.String("benchmark", "QCLA", "benchmark for fig15/fig15buf/buffersweep (QRCA, QCLA, QFT)")
@@ -85,7 +86,7 @@ func run(args []string, out *os.File) error {
 	e := core.NewExperiments()
 	e.Bits = *bits
 	e.Engine = eng
-	p := core.RunParams{Trials: *trials, Seed: *seed, Buckets: *buckets,
+	p := core.RunParams{Trials: *trials, Seed: *seed, Sparse: *sparse, Buckets: *buckets,
 		MaxScale: *maxScale, Benchmark: *benchName, Arch: *arch, Buffer: *buffer, Tiles: *tiles}
 	if err := p.Validate(); err != nil {
 		return err

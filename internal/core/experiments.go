@@ -174,6 +174,16 @@ type PrepErrorResult struct {
 // preparation variant is one engine job whose Monte Carlo trials fan out
 // further as chunk jobs on the same engine.
 func (e Experiments) Figure4(trials int, seed int64) ([]PrepErrorResult, error) {
+	return e.Figure4Sampled(trials, seed, noise.SamplingDense)
+}
+
+// Figure4Sampled is Figure4 with an explicit Monte Carlo sampling mode.
+// Dense (the default everywhere) draws per error location and is
+// byte-identical across releases for a seed; sparse samples fault sets
+// directly — statistically equivalent and much faster at physical error
+// rates, behind the qsd -sparse flag and the HTTP sparse parameter.  The
+// two modes never share cache keys.
+func (e Experiments) Figure4Sampled(trials int, seed int64, sampling noise.Sampling) ([]PrepErrorResult, error) {
 	code := steane.NewCode()
 	model := noise.DefaultModel()
 	paperRates := map[string]float64{
@@ -189,13 +199,20 @@ func (e Experiments) Figure4(trials int, seed int64) ([]PrepErrorResult, error) 
 	for i, name := range order {
 		name := name
 		p := protocols[name]
+		key := engine.Fingerprint("core.figure4", name, model, trials, seed)
+		if sampling == noise.SamplingSparse {
+			// Dense keys stay exactly as they always were (they seed the
+			// chunk RNG streams); sparse gets its own key space.
+			key = engine.Fingerprint("core.figure4", name, model, trials, seed, "sparse")
+		}
 		jobs[i] = engine.Job[PrepErrorResult]{
-			Key: engine.Fingerprint("core.figure4", name, model, trials, seed),
+			Key: key,
 			Run: func(ctx context.Context, _ *rand.Rand) (PrepErrorResult, error) {
 				sim, err := noise.NewSimulator(code, p, model)
 				if err != nil {
 					return PrepErrorResult{}, err
 				}
+				sim.Sampling = sampling
 				mc, err := sim.MonteCarloEngine(ctx, e.Engine, trials, seed)
 				if err != nil {
 					return PrepErrorResult{}, err

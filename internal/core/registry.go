@@ -45,6 +45,11 @@ type RunParams struct {
 	// sweeps tile counts in powers of two up to it, netcontention runs one
 	// mesh planned for exactly this many tiles.
 	Tiles int
+	// Sparse switches the fig4 Monte Carlo to the sparse fault-set sampler
+	// (geometric skipping, fault-free trials short-circuited).  The default
+	// dense sampler is byte-identical across releases for a seed; sparse is
+	// statistically equivalent and much faster at physical error rates.
+	Sparse bool
 }
 
 // DefaultBufferAncillae is the standard finite buffer capacity of the
@@ -158,8 +163,10 @@ var registry = map[string]experiment{
 		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderSimpleFactory(e) },
 	},
 	"fig4": {
-		info:   ExperimentInfo{ID: "fig4", Title: "Figure 4: encoded-zero preparation error rates", Aliases: []string{"figure4"}, Params: []string{"trials", "seed"}},
-		render: func(e Experiments, p RunParams) (report.Section, error) { return renderFigure4(e, p.Trials, p.Seed) },
+		info: ExperimentInfo{ID: "fig4", Title: "Figure 4: encoded-zero preparation error rates", Aliases: []string{"figure4"}, Params: []string{"trials", "seed", "sparse"}},
+		render: func(e Experiments, p RunParams) (report.Section, error) {
+			return renderFigure4(e, p.Trials, p.Seed, p.Sparse)
+		},
 	},
 	"fig7": {
 		info:   ExperimentInfo{ID: "fig7", Title: "Figure 7: ancilla demand profiles", Aliases: []string{"figure7"}, Params: []string{"bits", "buckets"}},
@@ -442,8 +449,12 @@ func renderTable9(e Experiments) (report.Section, error) {
 	return report.NewSection("", tb), nil
 }
 
-func renderFigure4(e Experiments, trials int, seed int64) (report.Section, error) {
-	rows, err := e.Figure4(trials, seed)
+func renderFigure4(e Experiments, trials int, seed int64, sparse bool) (report.Section, error) {
+	sampling := noise.SamplingDense
+	if sparse {
+		sampling = noise.SamplingSparse
+	}
+	rows, err := e.Figure4Sampled(trials, seed, sampling)
 	if err != nil {
 		return report.Section{}, err
 	}

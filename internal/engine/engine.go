@@ -29,7 +29,6 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"runtime"
-	"strings"
 	"sync"
 )
 
@@ -215,15 +214,22 @@ func SeedFor(base int64, key string) int64 {
 
 // Fingerprint joins the %v renderings of its arguments with '|' into a job
 // key.  Callers must include every input the job's result depends on.
+//
+// Strings, ints, floats, bools and Keyer/Stringer values are appended
+// through typed fast paths (no reflection); everything else goes through
+// %v.  Both produce identical bytes, so keys — and the RNG streams seeded
+// from them — are unchanged from the reflection-based implementation.
+// Hot loops building many keys with a shared prefix should use NewKey
+// directly.
 func Fingerprint(parts ...any) string {
-	var b strings.Builder
+	b := make([]byte, 0, 96)
 	for i, p := range parts {
 		if i > 0 {
-			b.WriteByte('|')
+			b = append(b, '|')
 		}
-		fmt.Fprintf(&b, "%v", p)
+		b = appendPart(b, p)
 	}
-	return b.String()
+	return string(b)
 }
 
 // Run executes the batch on e's worker pool and returns the results in job

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// legacyFingerprint is the original reflection-based implementation, kept
+// here as the oracle: every key the typed builder produces must be
+// byte-identical, because keys seed the per-job RNG streams and changing a
+// single byte would silently change every Monte Carlo estimate.
+func legacyFingerprint(parts ...any) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%v", p)
+	}
+	return b.String()
+}
+
+type stringerPart struct{ name string }
+
+func (s stringerPart) String() string { return "str:" + s.name }
+
+type structPart struct {
+	A float64
+	B float64
+	C int
+}
+
+type keyerPart struct{ v int }
+
+func (k keyerPart) AppendKey(b []byte) []byte {
+	// Matches %v of the struct: "{<v>}".
+	b = append(b, '{')
+	b = fmt.Appendf(b, "%d", k.v)
+	return append(b, '}')
+}
+
+func TestFingerprintMatchesLegacyRendering(t *testing.T) {
+	cases := [][]any{
+		{"mc", 3, 1.5},
+		{"noise.mc", "verify-and-correct/133/abcdef", structPart{1e-4, 1e-6, 6}, int64(-7), 0, 8192},
+		{"floats", 0.0, 1e-300, -2.5, 1.0 / 3.0, 42.0},
+		{"bools", true, false},
+		{"stringer", stringerPart{"qcla"}, stringerPart{""}},
+		{"slices", []int{1, 2, 3}, []string{"a", "b"}},
+		{"mixed", int64(1 << 62), -1, uint8(7), 3.14},
+		{"empty", ""},
+	}
+	for _, parts := range cases {
+		want := legacyFingerprint(parts...)
+		if got := Fingerprint(parts...); got != want {
+			t.Errorf("Fingerprint(%v) = %q, want legacy %q", parts, got, want)
+		}
+	}
+}
+
+func TestKeyBuilderMatchesFingerprint(t *testing.T) {
+	want := Fingerprint("noise.mc", "fp/1/2", keyerPart{7}, int64(-9), 3, 8192)
+	got := NewKey("noise.mc").Str("fp/1/2").Keyer(keyerPart{7}).Int64(-9).Int(3).Int(8192).String()
+	if got != want {
+		t.Fatalf("Key builder = %q, want %q", got, want)
+	}
+}
+
+func TestFingerprintUsesKeyerFastPath(t *testing.T) {
+	if got, want := Fingerprint("k", keyerPart{12}), "k|{12}"; got != want {
+		t.Fatalf("Keyer part = %q, want %q", got, want)
+	}
+	if got, want := NewKey("k").Keyer(keyerPart{12}).String(), "k|{12}"; got != want {
+		t.Fatalf("Key.Keyer = %q, want %q", got, want)
+	}
+}
+
+// The typed key builder is on the per-job critical path of every experiment
+// batch: it must stay allocation-light (one buffer, one final string).
+func TestKeyBuilderAllocations(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = NewKey("noise.mc").Str("some/protocol/fingerprint").Keyer(keyerPart{4}).Int64(42).Int(17).Int(8192).String()
+	})
+	if allocs > 2 {
+		t.Fatalf("Key builder allocations = %v, want <= 2 (buffer + string)", allocs)
+	}
+}
+
+// Fingerprint itself pays interface boxing for non-constant ints but must
+// not regress to reflection-level allocation counts.
+func TestFingerprintAllocations(t *testing.T) {
+	fp := "some/protocol/fingerprint"
+	seed := int64(42)
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = Fingerprint("noise.mc", fp, seed, 300, 8192)
+	})
+	if allocs > 4 {
+		t.Fatalf("Fingerprint allocations = %v, want <= 4", allocs)
+	}
+}

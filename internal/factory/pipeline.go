@@ -78,7 +78,32 @@ type unitProc struct {
 	blockedAt iontrap.Microseconds
 }
 
-func (u *unitProc) start() { u.k.At(0, sim.PriorityNormal, u.request) }
+// unitProc event payloads for the sim.Handler interface: every stage event
+// schedules the proc itself with a phase instead of a bound-method closure.
+const (
+	procStart = iota
+	procAcquired
+	procComplete
+	procFlush
+)
+
+// Fire implements sim.Handler.
+func (u *unitProc) Fire(idx int) {
+	switch idx {
+	case procStart:
+		u.request()
+	case procAcquired:
+		u.starving = false
+		u.stats.StarveMs += (u.k.Now() - u.blockedAt).Milliseconds()
+		u.work()
+	case procComplete:
+		u.complete()
+	case procFlush:
+		u.flush()
+	}
+}
+
+func (u *unitProc) start() { u.k.AtFire(0, sim.PriorityNormal, u, procStart) }
 
 // request begins one operation by acquiring the input qubits.
 func (u *unitProc) request() {
@@ -88,11 +113,7 @@ func (u *unitProc) request() {
 	}
 	u.starving = true
 	u.blockedAt = u.k.Now()
-	u.in.Acquire(u.qubitsIn, func() {
-		u.starving = false
-		u.stats.StarveMs += (u.k.Now() - u.blockedAt).Milliseconds()
-		u.work()
-	})
+	u.in.AcquireFire(u.qubitsIn, u, procAcquired)
 }
 
 // work runs the operation itself: the pipeline-fill latency for the first
@@ -105,7 +126,7 @@ func (u *unitProc) work() {
 			d = u.latency
 		}
 	}
-	u.k.After(d, sim.PriorityNormal, u.complete)
+	u.k.AfterFire(d, sim.PriorityNormal, u, procComplete)
 }
 
 // complete deposits the product, stalling on a full downstream buffer.
@@ -122,7 +143,7 @@ func (u *unitProc) flush() {
 			u.stalled = true
 			u.blockedAt = u.k.Now()
 		}
-		u.out.OnSpace(u.flush)
+		u.out.OnSpaceFire(u, procFlush)
 		return
 	}
 	u.held = 0
@@ -165,7 +186,8 @@ func SimulatePipeline(d Design, horizonMs, bufferQubits float64) (PipelineRun, e
 		BufferQubits:  bufferQubits,
 		AnalyticPerMs: d.ThroughputPerMs,
 	}
-	k := sim.NewKernel()
+	k := sim.AcquireKernel()
+	defer k.Release()
 
 	// One buffer after each stage; the last collects the factory's output
 	// and is unbounded so throughput is demand-unconstrained.

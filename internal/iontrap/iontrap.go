@@ -93,6 +93,26 @@ func Default() Technology {
 	}
 }
 
+// TechKey is a comparable identity of a Technology: its name plus the full
+// latency table in op order.  Derived quantities (factory designs, matched
+// bandwidths) depend only on this, so packages memoise them in maps keyed
+// by it.
+type TechKey struct {
+	Name    string
+	Latency [numOps]Microseconds
+}
+
+// Key returns the technology's comparable cache identity.
+func (t Technology) Key() TechKey {
+	k := TechKey{Name: t.Name}
+	for op, l := range t.Latency {
+		if op >= 0 && op < numOps {
+			k.Latency[op] = l
+		}
+	}
+	return k
+}
+
 // Validate reports an error if any primitive operation is missing or has a
 // non-positive latency.
 func (t Technology) Validate() error {

@@ -9,6 +9,7 @@ package microarch
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"speedofdata/internal/factory"
 	"speedofdata/internal/iontrap"
@@ -177,15 +178,44 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// techConsts are the factory-derived constants of one technology.  Building
+// a factory Design walks the bandwidth-matching arithmetic and allocates
+// latency expressions, and Simulate needs these numbers on every call of a
+// sweep, so they are memoised per technology (keyed by iontrap.TechKey).
+type techConsts struct {
+	generatorRatePerMs float64
+	simpleArea         iontrap.Area
+	pipelined          factory.Design
+	pi8                factory.Design
+}
+
+var techConstsMemo sync.Map // iontrap.TechKey -> *techConsts
+
+func constsFor(tech iontrap.Technology) *techConsts {
+	key := tech.Key()
+	if v, ok := techConstsMemo.Load(key); ok {
+		return v.(*techConsts)
+	}
+	simple := factory.SimpleZeroFactory{Tech: tech}
+	c := &techConsts{
+		generatorRatePerMs: simple.ThroughputPerMs(),
+		simpleArea:         simple.Area(),
+		pipelined:          factory.PipelinedZeroFactory(tech),
+		pi8:                factory.Pi8Factory(tech),
+	}
+	v, _ := techConstsMemo.LoadOrStore(key, c)
+	return v.(*techConsts)
+}
+
 // generatorRatePerMs is the encoded-zero production rate of one per-qubit
 // serial generator (the simple factory of Section 4.3).
 func (c Config) generatorRatePerMs() float64 {
-	return factory.SimpleZeroFactory{Tech: c.Latency.Tech}.ThroughputPerMs()
+	return constsFor(c.Latency.Tech).generatorRatePerMs
 }
 
 // sharedFactoryRatePerMs is the rate of one shared pipelined factory.
 func (c Config) sharedFactoryRatePerMs() float64 {
-	return factory.PipelinedZeroFactory(c.Latency.Tech).ThroughputPerMs
+	return constsFor(c.Latency.Tech).pipelined.ThroughputPerMs
 }
 
 // AncillaFactoryArea reports the total ancilla-generation area implied by the
@@ -193,19 +223,17 @@ func (c Config) sharedFactoryRatePerMs() float64 {
 // the π/8 encoding supply (Figure 15's x axis).
 func (c Config) AncillaFactoryArea(nQubits int) iontrap.Area {
 	var area iontrap.Area
-	simple := factory.SimpleZeroFactory{Tech: c.Latency.Tech}
-	pipelined := factory.PipelinedZeroFactory(c.Latency.Tech)
+	tc := constsFor(c.Latency.Tech)
 	switch c.Arch {
 	case QLA, GQLA:
-		area = iontrap.Area(float64(nQubits*c.GeneratorsPerQubit) * float64(simple.Area()))
+		area = iontrap.Area(float64(nQubits*c.GeneratorsPerQubit) * float64(tc.simpleArea))
 	case CQLA, GCQLA:
-		area = iontrap.Area(float64(c.CacheSlots*c.GeneratorsPerQubit) * float64(simple.Area()))
+		area = iontrap.Area(float64(c.CacheSlots*c.GeneratorsPerQubit) * float64(tc.simpleArea))
 	case FullyMultiplexed:
-		area = iontrap.Area(float64(c.SharedFactories) * float64(pipelined.TotalArea()))
+		area = iontrap.Area(float64(c.SharedFactories) * float64(tc.pipelined.TotalArea()))
 	}
 	if c.Pi8BandwidthPerMs > 0 {
-		pi8 := factory.Pi8Factory(c.Latency.Tech)
-		area += factory.Pi8SupplyArea(pi8, pipelined, c.Pi8BandwidthPerMs)
+		area += factory.Pi8SupplyArea(tc.pi8, tc.pipelined, c.Pi8BandwidthPerMs)
 	}
 	return area
 }

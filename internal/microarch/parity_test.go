@@ -223,3 +223,29 @@ func TestEventSimulatorEmptyCircuit(t *testing.T) {
 		t.Errorf("empty circuit result = %+v", res)
 	}
 }
+
+// The event-driven Simulate path is called thousands of times per sweep; its
+// pooled run state and the kernel's closure-free scheduling must keep the
+// steady state allocation-free apart from a constant handful per run (the
+// result bookkeeping), independent of gate count.
+func TestSimulateEventsSteadyStateAllocations(t *testing.T) {
+	c, err := circuits.Generate(circuits.QRCA, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(FullyMultiplexed)
+	if _, err := Simulate(c, cfg); err != nil { // warm pools and caches
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Simulate(c, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The budget covers the cost model and fluid-source bookkeeping only;
+	// before the pooled run state this was hundreds of allocations per run
+	// (one closure per kernel event plus the per-gate map in BuildDAG).
+	if allocs > 8 {
+		t.Fatalf("steady-state Simulate allocations = %v per run, want <= 8", allocs)
+	}
+}

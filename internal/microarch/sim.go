@@ -264,7 +264,7 @@ func SimulateClosedForm(c *quantum.Circuit, cfg Config) (Result, error) {
 		return res, nil
 	}
 
-	dag := quantum.BuildDAG(c)
+	dag := c.DAG()
 	n := len(c.Gates)
 	finish := make([]float64, n)
 	ready := make([]float64, n)

@@ -128,7 +128,7 @@ func MatchedLinkEPRPerMs(c *quantum.Circuit, m schedule.LatencyModel, topo Topol
 	if links == 0 {
 		return 0
 	}
-	dag := quantum.BuildDAG(c)
+	dag := c.DAG()
 	_, sodUs := dag.WeightedCriticalPath(func(g quantum.Gate) float64 {
 		return float64(m.GateWeightSpeedOfData(g))
 	})

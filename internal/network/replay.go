@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"sync"
 
 	"speedofdata/internal/iontrap"
 	"speedofdata/internal/quantum"
@@ -84,6 +85,364 @@ func Replay(c *quantum.Circuit, cfg Config) (ReplayRun, error) {
 	return ReplayShared([]*quantum.Circuit{c}, cfg)
 }
 
+// netGate is the in-flight state of one dispatched cross-tile gate: its
+// operand movements, the join counters for inbound and return teleports,
+// and the times the joins resolve to.
+type netGate struct {
+	moves    [][]Link
+	inbound  int
+	outbound int
+	arrival  float64
+	execDone float64
+	retDone  float64
+}
+
+// teleState is one active routed operand movement.  Teleports are pooled by
+// index in netState and step through their route via kernel events carrying
+// that index — the closure-free replacement for the recursive hop closure.
+type teleState struct {
+	fi       int    // owning flat gate
+	route    []Link // cached route (read-only)
+	hop      int
+	ret      bool    // return trip (fires the outbound join)
+	hopReady float64 // when the current hop requested its EPR pair
+}
+
+// netState is the pooled per-run state of ReplayShared, implementing
+// sim.Handler.  Event payloads: -1 dispatch, [0,total) gate completion,
+// [total,2·total) return-teleport launch for gate idx-total, and beyond
+// that teleport steps (even = EPR pair granted, odd = hop arrival).
+type netState struct {
+	k  *sim.Kernel
+	rq *sim.TaskQueue
+
+	run   *ReplayRun
+	cs    []*quantum.Circuit
+	m     schedule.LatencyModel
+	topo  Topology
+	flat  []flatGate
+	dags  []*quantum.DAG
+	offs  []int
+	pend  []netGate
+	ready []float64
+	indeg []int
+
+	pools   []sim.FluidSource
+	bufs    []*sim.Resource
+	prods   []*sim.Producer
+	linkIdx map[Link]int
+	routes  [][]Link // (from*tiles+to) -> cached dimension-order route
+
+	tele     []teleState
+	teleFree []int32
+
+	perGate  float64
+	teleAnc  float64
+	teleAncN int
+	teleUs   float64
+	ballUs   float64
+
+	waits      []float64
+	netBlocked []float64
+	tops       []float64
+
+	total             int
+	nTiles            int
+	finished          int
+	makespan          float64
+	dispatchScheduled bool
+}
+
+type flatGate struct {
+	circuit int
+	gate    int
+}
+
+var netStatePool = sync.Pool{New: func() any { return new(netState) }}
+
+const netDispatchIdx = -1
+
+// Fire implements sim.Handler.
+func (r *netState) Fire(idx int) {
+	switch {
+	case idx == netDispatchIdx:
+		r.dispatch()
+	case idx < r.total:
+		r.completed(idx)
+	case idx < 2*r.total:
+		r.launchReturns(idx - r.total)
+	default:
+		t := idx - 2*r.total
+		if t&1 == 0 {
+			r.teleGranted(t >> 1)
+		} else {
+			r.teleArrived(t >> 1)
+		}
+	}
+}
+
+// route returns the cached dimension-order route between two tiles.
+func (r *netState) route(from, to int) []Link {
+	i := from*r.nTiles + to
+	if r.routes[i] == nil {
+		r.routes[i] = r.topo.Route(from, to)
+	}
+	return r.routes[i]
+}
+
+// spawnTele claims a pooled teleport state and starts its first hop.
+func (r *netState) spawnTele(fi int, route []Link, ret bool) {
+	var ts int
+	if n := len(r.teleFree); n > 0 {
+		ts = int(r.teleFree[n-1])
+		r.teleFree = r.teleFree[:n-1]
+	} else {
+		ts = len(r.tele)
+		r.tele = append(r.tele, teleState{})
+	}
+	r.tele[ts] = teleState{fi: fi, route: route, ret: ret}
+	r.teleStep(ts)
+}
+
+// teleStep requests the current hop's EPR pair, or resolves the teleport
+// when the route is exhausted.
+func (r *netState) teleStep(ts int) {
+	s := &r.tele[ts]
+	if s.hop == len(s.route) {
+		arrive := float64(r.k.Now())
+		fi, ret := s.fi, s.ret
+		r.teleFree = append(r.teleFree, int32(ts))
+		if ret {
+			r.returnArrived(fi, arrive)
+		} else {
+			r.operandArrived(fi, arrive)
+		}
+		return
+	}
+	s.hopReady = float64(r.k.Now())
+	l := s.route[s.hop]
+	r.bufs[r.linkIdx[l]].AcquireFire(1, r, 2*r.total+2*ts)
+}
+
+// teleGranted fires when the hop's EPR pair is delivered: draw the teleport
+// ancillae from the departing tile's zero supply, then transit.
+func (r *netState) teleGranted(ts int) {
+	s := &r.tele[ts]
+	ci := r.flat[s.fi].circuit
+	res := &r.run.Results[ci]
+	l := s.route[s.hop]
+	granted := float64(r.k.Now())
+	r.netBlocked[ci] += granted - s.hopReady
+	depart := granted
+	if r.teleAnc > 0 {
+		if t := r.pools[l.From].AvailableAt(r.teleAnc); t > depart {
+			depart = t
+		}
+	}
+	r.waits[ci] += depart - granted
+	res.TeleportAncillae += r.teleAncN
+	res.AncillaeConsumed += r.teleAncN
+	res.Hops++
+	arrive := depart + r.teleUs
+	r.netBlocked[ci] += arrive - depart
+	r.k.AtFire(iontrap.Microseconds(arrive), sim.PriorityNormal, r, 2*r.total+2*ts+1)
+}
+
+// teleArrived fires at the hop's arrival time.
+func (r *netState) teleArrived(ts int) {
+	r.tele[ts].hop++
+	r.teleStep(ts)
+}
+
+// issueGate runs a gate's execution phase at the given start time: QEC
+// ancillae from the execution tile, then ballistic movement (multi-qubit
+// gates) and the gate itself.  It returns the execution finish time.
+func (r *netState) issueGate(ci int, g quantum.Gate, start float64, execTile int) float64 {
+	res := &r.run.Results[ci]
+	issue := start
+	if t := r.pools[execTile].AvailableAt(r.perGate); t > issue {
+		issue = t
+	}
+	r.waits[ci] += issue - start
+	res.AncillaeConsumed += r.m.ZeroAncillaePerQEC
+	extra := 0.0
+	if g.Kind.Arity() >= 2 {
+		extra = r.ballUs
+	}
+	return issue + extra + float64(r.m.GateWeightSpeedOfData(g))
+}
+
+// operandArrived joins one inbound teleport; the last arrival executes the
+// gate and schedules the return trips at its completion.
+func (r *netState) operandArrived(fi int, arrive float64) {
+	p := &r.pend[fi]
+	if arrive > p.arrival {
+		p.arrival = arrive
+	}
+	p.inbound--
+	if p.inbound > 0 {
+		return
+	}
+	fg := r.flat[fi]
+	g := r.cs[fg.circuit].Gates[fg.gate]
+	part := r.run.Partitions[fg.circuit]
+	execTile := part.TileOf[g.Qubits[len(g.Qubits)-1]]
+	p.execDone = r.issueGate(fg.circuit, g, p.arrival, execTile)
+	// Return the moved operands home; the gate completes (and unblocks its
+	// successors) once placement is restored, the same to-and-back
+	// convention the microarch teleport accounting uses.
+	r.k.AtFire(iontrap.Microseconds(p.execDone), sim.PriorityNormal, r, r.total+fi)
+}
+
+// launchReturns fires at a cross-tile gate's execution completion and sends
+// every moved operand back.
+func (r *netState) launchReturns(fi int) {
+	p := &r.pend[fi]
+	fg := r.flat[fi]
+	res := &r.run.Results[fg.circuit]
+	p.outbound = len(p.moves)
+	p.retDone = p.execDone
+	for _, route := range p.moves {
+		back := r.route(route[len(route)-1].To, route[0].From)
+		res.Teleports++
+		res.HopHistogram[len(back)]++
+		r.spawnTele(fi, back, true)
+	}
+}
+
+// returnArrived joins one return teleport; the last one finishes the gate.
+func (r *netState) returnArrived(fi int, arrive float64) {
+	p := &r.pend[fi]
+	if arrive > p.retDone {
+		p.retDone = arrive
+	}
+	p.outbound--
+	if p.outbound == 0 {
+		r.finishGate(fi, p.retDone)
+	}
+}
+
+func (r *netState) scheduleDispatch() {
+	if !r.dispatchScheduled {
+		r.dispatchScheduled = true
+		r.k.AtFire(r.k.Now(), sim.PriorityLate, r, netDispatchIdx)
+	}
+}
+
+func (r *netState) finishGate(fi int, finishAt float64) {
+	fg := r.flat[fi]
+	if finishAt > r.tops[fg.circuit] {
+		r.tops[fg.circuit] = finishAt
+	}
+	if finishAt > r.makespan {
+		r.makespan = finishAt
+	}
+	r.k.AtFire(iontrap.Microseconds(finishAt), sim.PriorityNormal, r, fi)
+}
+
+func (r *netState) completed(fi int) {
+	finishAt := float64(r.k.Now())
+	fg := r.flat[fi]
+	r.finished++
+	for _, s := range r.dags[fg.circuit].Succ[fg.gate] {
+		si := r.offs[fg.circuit] + s
+		if finishAt > r.ready[si] {
+			r.ready[si] = finishAt
+		}
+		r.indeg[si]--
+		if r.indeg[si] == 0 {
+			r.rq.Push(sim.Task{Index: si, Ready: r.ready[si]})
+			r.scheduleDispatch()
+		}
+	}
+	if r.finished == r.total {
+		r.k.Stop()
+	}
+}
+
+func (r *netState) dispatch() {
+	r.dispatchScheduled = false
+	for r.rq.Len() > 0 {
+		item := r.rq.Pop()
+		fi := item.Index
+		fg := r.flat[fi]
+		ci := fg.circuit
+		g := r.cs[ci].Gates[fg.gate]
+		part := r.run.Partitions[ci]
+		execTile := part.TileOf[g.Qubits[len(g.Qubits)-1]]
+		p := &r.pend[fi]
+		p.moves = p.moves[:0]
+		for _, q := range g.Qubits[:len(g.Qubits)-1] {
+			if from := part.TileOf[q]; from != execTile {
+				p.moves = append(p.moves, r.route(from, execTile))
+			}
+		}
+		start := item.Ready
+		if len(p.moves) == 0 {
+			r.finishGate(fi, r.issueGate(ci, g, start, execTile))
+			continue
+		}
+		res := &r.run.Results[ci]
+		p.inbound = len(p.moves)
+		p.arrival = start
+		for _, route := range p.moves {
+			res.Teleports++
+			res.HopHistogram[len(route)]++
+			r.spawnTele(fi, route, false)
+		}
+	}
+}
+
+// grow resizes the per-gate and per-circuit arrays, reusing capacity.
+func (r *netState) grow(total, circuits, tiles int) {
+	r.total, r.nTiles = total, tiles
+	if cap(r.flat) < total {
+		r.flat = make([]flatGate, total)
+		r.ready = make([]float64, total)
+		r.indeg = make([]int, total)
+	}
+	r.flat = r.flat[:total]
+	r.ready = r.ready[:total]
+	r.indeg = r.indeg[:total]
+	for i := range r.ready {
+		r.ready[i] = 0
+	}
+	if cap(r.pend) < total {
+		old := r.pend
+		r.pend = make([]netGate, total)
+		// Keep the per-gate move-slice capacity accumulated so far.
+		copy(r.pend, old)
+	}
+	r.pend = r.pend[:total]
+	for i := range r.pend {
+		r.pend[i] = netGate{moves: r.pend[i].moves[:0]}
+	}
+	if cap(r.dags) < circuits {
+		r.dags = make([]*quantum.DAG, circuits)
+		r.offs = make([]int, circuits)
+		r.waits = make([]float64, circuits)
+		r.netBlocked = make([]float64, circuits)
+		r.tops = make([]float64, circuits)
+	}
+	r.dags = r.dags[:circuits]
+	r.offs = r.offs[:circuits]
+	r.waits = r.waits[:circuits]
+	r.netBlocked = r.netBlocked[:circuits]
+	r.tops = r.tops[:circuits]
+	for i := 0; i < circuits; i++ {
+		r.waits[i], r.netBlocked[i], r.tops[i] = 0, 0, 0
+	}
+	if cap(r.routes) < tiles*tiles {
+		r.routes = make([][]Link, tiles*tiles)
+	}
+	r.routes = r.routes[:tiles*tiles]
+	for i := range r.routes {
+		r.routes[i] = nil
+	}
+	r.tele = r.tele[:0]
+	r.teleFree = r.teleFree[:0]
+}
+
 // ReplayShared co-schedules several circuits on one mesh — the network
 // contention scenario: each circuit is partitioned across the same tiles,
 // and all of them compete for the same links and the same per-tile zero
@@ -107,20 +466,36 @@ func ReplayShared(cs []*quantum.Circuit, cfg Config) (ReplayRun, error) {
 		Results:    make([]ReplayResult, len(cs)),
 		Partitions: make([]Partition, len(cs)),
 	}
-	type flatGate struct {
-		circuit int
-		gate    int
-	}
-	var flat []flatGate
-	dags := make([]*quantum.DAG, len(cs))
-	offsets := make([]int, len(cs))
 	if len(cfg.Partitions) > 0 && len(cfg.Partitions) != len(cs) {
 		return ReplayRun{}, fmt.Errorf("network: %d pinned partitions for %d circuits", len(cfg.Partitions), len(cs))
 	}
-	for ci, c := range cs {
+	total := 0
+	for _, c := range cs {
 		if err := c.Validate(); err != nil {
 			return ReplayRun{}, err
 		}
+		total += len(c.Gates)
+	}
+
+	r := netStatePool.Get().(*netState)
+	defer func() {
+		r.k, r.rq, r.cs, r.run = nil, nil, nil, nil
+		for i := range r.dags {
+			r.dags[i] = nil
+		}
+		netStatePool.Put(r)
+	}()
+	r.run, r.cs, r.m, r.topo = &run, cs, m, topo
+	r.perGate = float64(m.ZeroAncillaePerQEC)
+	r.teleAncN = cfg.Machine.Movement.TeleportAncillae
+	r.teleAnc = float64(r.teleAncN)
+	r.teleUs = float64(cfg.Machine.Movement.TeleportUs)
+	r.ballUs = float64(cfg.Machine.Movement.BallisticPerGateUs)
+	r.finished, r.makespan, r.dispatchScheduled = 0, 0, false
+	r.grow(total, len(cs), nTiles)
+
+	fi := 0
+	for ci, c := range cs {
 		var part Partition
 		if len(cfg.Partitions) > 0 {
 			part = cfg.Partitions[ci]
@@ -135,255 +510,106 @@ func ReplayShared(cs []*quantum.Circuit, cfg Config) (ReplayRun, error) {
 			}
 		}
 		run.Partitions[ci] = part
-		dags[ci] = quantum.BuildDAG(c)
-		offsets[ci] = len(flat)
+		r.dags[ci] = c.DAG()
+		r.offs[ci] = fi
 		for gi := range c.Gates {
-			flat = append(flat, flatGate{circuit: ci, gate: gi})
+			r.flat[fi] = flatGate{circuit: ci, gate: gi}
+			fi++
 		}
-		r := &run.Results[ci]
-		r.Name = c.Name
-		r.Gates = len(c.Gates)
-		r.CrossGates = part.CrossGates
-		r.HopHistogram = make([]int, maxDist)
-		_, sod := dags[ci].WeightedCriticalPath(func(g quantum.Gate) float64 {
+		res := &run.Results[ci]
+		res.Name = c.Name
+		res.Gates = len(c.Gates)
+		res.CrossGates = part.CrossGates
+		res.HopHistogram = make([]int, maxDist)
+		_, sod := r.dags[ci].WeightedCriticalPath(func(g quantum.Gate) float64 {
 			return float64(m.GateWeightSpeedOfData(g))
 		})
-		r.SpeedOfData = iontrap.Microseconds(sod)
+		res.SpeedOfData = iontrap.Microseconds(sod)
 		for _, g := range c.Gates {
-			r.DataOpBusy += m.DataOpLatency(g)
-			r.QECInteractBusy += m.QECInteractLatency()
+			res.DataOpBusy += m.DataOpLatency(g)
+			res.QECInteractBusy += m.QECInteractLatency()
 		}
 	}
-	total := len(flat)
 	if total == 0 {
 		return run, nil
 	}
 
-	k := sim.NewKernel()
-	perGate := float64(m.ZeroAncillaePerQEC)
-	teleAncillae := cfg.Machine.Movement.TeleportAncillae
-	teleAnc := float64(teleAncillae)
-	teleUs := float64(cfg.Machine.Movement.TeleportUs)
-	ballisticUs := float64(cfg.Machine.Movement.BallisticPerGateUs)
+	r.k = sim.AcquireKernel()
+	defer r.k.Release()
+	r.rq = sim.AcquireTaskQueue()
+	defer r.rq.Release()
 
 	// Per-tile zero supplies are fluid token buckets (the same arithmetic
 	// schedule.Replay uses), fed by the tile's own factories.
-	pools := make([]*sim.FluidSource, nTiles)
-	for i := range pools {
-		var err error
-		if pools[i], err = sim.NewFluidSource(cfg.tileRatePerMs(i) / 1000.0); err != nil {
+	if cap(r.pools) < nTiles {
+		r.pools = make([]sim.FluidSource, nTiles)
+	}
+	r.pools = r.pools[:nTiles]
+	for i := range r.pools {
+		if err := r.pools[i].Reset(cfg.tileRatePerMs(i) / 1000.0); err != nil {
 			return ReplayRun{}, err
 		}
 	}
 	// Each directed link is a finite EPR-pair channel behind a rate-matched
-	// generator.
+	// generator.  Channels and generators are pooled across runs.
 	links := topo.Links()
-	linkIdx := make(map[Link]int, len(links))
-	buffers := make([]*sim.Resource, len(links))
-	producers := make([]*sim.Producer, len(links))
+	if r.linkIdx == nil {
+		r.linkIdx = make(map[Link]int, len(links))
+	} else {
+		clear(r.linkIdx)
+	}
 	linkRatePerUs := cfg.linkRatePerMs() / 1000.0
 	for i, l := range links {
-		linkIdx[l] = i
+		r.linkIdx[l] = i
 		name := "EPR link " + l.String()
-		buffers[i] = sim.NewResource(k, name, cfg.LinkBufferPairs)
-		var err error
-		if producers[i], err = sim.NewProducer(k, name, buffers[i], linkRatePerUs, 1); err != nil {
-			return ReplayRun{}, err
-		}
-		producers[i].Start()
-	}
-
-	ready := make([]float64, total)
-	indeg := make([]int, total)
-	for ci, d := range dags {
-		copy(indeg[offsets[ci]:offsets[ci]+len(d.InDegree)], d.InDegree)
-	}
-
-	rq := &sim.TaskQueue{}
-	finished := 0
-	dispatchScheduled := false
-	waits := make([]float64, len(cs))
-	netBlocked := make([]float64, len(cs))
-	makespans := make([]float64, len(cs))
-	makespan := 0.0
-
-	var dispatch func()
-	scheduleDispatch := func() {
-		if !dispatchScheduled {
-			dispatchScheduled = true
-			k.At(k.Now(), sim.PriorityLate, dispatch)
-		}
-	}
-	finishGate := func(fi int, finishAt float64) {
-		fg := flat[fi]
-		if finishAt > makespans[fg.circuit] {
-			makespans[fg.circuit] = finishAt
-		}
-		if finishAt > makespan {
-			makespan = finishAt
-		}
-		k.At(iontrap.Microseconds(finishAt), sim.PriorityNormal, func() {
-			finished++
-			for _, s := range dags[fg.circuit].Succ[fg.gate] {
-				si := offsets[fg.circuit] + s
-				if finishAt > ready[si] {
-					ready[si] = finishAt
-				}
-				indeg[si]--
-				if indeg[si] == 0 {
-					rq.Push(sim.Task{Index: si, Ready: ready[si]})
-					scheduleDispatch()
-				}
+		if i < len(r.bufs) {
+			r.bufs[i].Reset(r.k, name, cfg.LinkBufferPairs)
+			if err := r.prods[i].Reset(r.k, name, r.bufs[i], linkRatePerUs, 1); err != nil {
+				return ReplayRun{}, err
 			}
-			if finished == total {
-				k.Stop()
+		} else {
+			buf := sim.NewResource(r.k, name, cfg.LinkBufferPairs)
+			prod, err := sim.NewProducer(r.k, name, buf, linkRatePerUs, 1)
+			if err != nil {
+				return ReplayRun{}, err
 			}
-		})
-	}
-
-	// teleport walks one routed operand movement hop by hop: each hop
-	// acquires an EPR pair from its link (queueing is network-blocked time),
-	// draws the teleport ancillae from the departing tile's zero supply
-	// (waiting there is factory-starved time), then transits for the
-	// movement model's teleport latency.  done fires at the arrival time.
-	var teleport func(ci int, route []Link, hop int, done func(arrive float64))
-	teleport = func(ci int, route []Link, hop int, done func(arrive float64)) {
-		if hop == len(route) {
-			done(float64(k.Now()))
-			return
+			r.bufs = append(r.bufs, buf)
+			r.prods = append(r.prods, prod)
 		}
-		res := &run.Results[ci]
-		l := route[hop]
-		hopReady := float64(k.Now())
-		buffers[linkIdx[l]].Acquire(1, func() {
-			granted := float64(k.Now())
-			netBlocked[ci] += granted - hopReady
-			depart := granted
-			if teleAnc > 0 {
-				if t := pools[l.From].AvailableAt(teleAnc); t > depart {
-					depart = t
-				}
-			}
-			waits[ci] += depart - granted
-			res.TeleportAncillae += teleAncillae
-			res.AncillaeConsumed += teleAncillae
-			res.Hops++
-			arrive := depart + teleUs
-			netBlocked[ci] += arrive - depart
-			k.At(iontrap.Microseconds(arrive), sim.PriorityNormal, func() {
-				teleport(ci, route, hop+1, done)
-			})
-		})
+		r.prods[i].Start()
 	}
+	r.bufs = r.bufs[:len(links)]
+	r.prods = r.prods[:len(links)]
 
-	// issueGate runs a gate's execution phase at the given start time: QEC
-	// ancillae from the execution tile, then ballistic movement (multi-qubit
-	// gates) and the gate itself.  It returns the execution finish time.
-	issueGate := func(ci int, g quantum.Gate, start float64, execTile int) float64 {
-		res := &run.Results[ci]
-		issue := start
-		if t := pools[execTile].AvailableAt(perGate); t > issue {
-			issue = t
-		}
-		waits[ci] += issue - start
-		res.AncillaeConsumed += m.ZeroAncillaePerQEC
-		extra := 0.0
-		if g.Kind.Arity() >= 2 {
-			extra = ballisticUs
-		}
-		return issue + extra + float64(m.GateWeightSpeedOfData(g))
+	for ci, d := range r.dags {
+		copy(r.indeg[r.offs[ci]:r.offs[ci]+len(d.InDegree)], d.InDegree)
 	}
-
-	dispatch = func() {
-		dispatchScheduled = false
-		for rq.Len() > 0 {
-			item := rq.Pop()
-			fi := item.Index
-			fg := flat[fi]
-			ci := fg.circuit
-			g := cs[ci].Gates[fg.gate]
-			part := run.Partitions[ci]
-			execTile := part.TileOf[g.Qubits[len(g.Qubits)-1]]
-			var moves [][]Link
-			for _, q := range g.Qubits[:len(g.Qubits)-1] {
-				if from := part.TileOf[q]; from != execTile {
-					moves = append(moves, topo.Route(from, execTile))
-				}
-			}
-			start := item.Ready
-			if len(moves) == 0 {
-				finishGate(fi, issueGate(ci, g, start, execTile))
-				continue
-			}
-			res := &run.Results[ci]
-			inbound := len(moves)
-			arrival := start
-			arrived := func(arrive float64) {
-				if arrive > arrival {
-					arrival = arrive
-				}
-				inbound--
-				if inbound > 0 {
-					return
-				}
-				execDone := issueGate(ci, g, arrival, execTile)
-				// Return the moved operands home; the gate completes (and
-				// unblocks its successors) once placement is restored, the
-				// same to-and-back convention the microarch teleport
-				// accounting uses.
-				k.At(iontrap.Microseconds(execDone), sim.PriorityNormal, func() {
-					outbound := len(moves)
-					retDone := execDone
-					for _, route := range moves {
-						back := topo.Route(route[len(route)-1].To, route[0].From)
-						res.Teleports++
-						res.HopHistogram[len(back)]++
-						teleport(ci, back, 0, func(arrive float64) {
-							if arrive > retDone {
-								retDone = arrive
-							}
-							outbound--
-							if outbound == 0 {
-								finishGate(fi, retDone)
-							}
-						})
-					}
-				})
-			}
-			for _, route := range moves {
-				res.Teleports++
-				res.HopHistogram[len(route)]++
-				teleport(ci, route, 0, arrived)
-			}
-		}
-	}
-
-	for fi, d := range indeg {
+	for i, d := range r.indeg {
 		if d == 0 {
-			rq.Push(sim.Task{Index: fi, Ready: 0})
+			r.rq.Push(sim.Task{Index: i, Ready: 0})
 		}
 	}
-	k.At(0, sim.PriorityLate, dispatch)
-	dispatchScheduled = true
-	stats := k.Run()
+	r.k.AtFire(0, sim.PriorityLate, r, netDispatchIdx)
+	r.dispatchScheduled = true
+	stats := r.k.Run()
 
-	if finished != total {
-		return ReplayRun{}, fmt.Errorf("network: replay left %d gates unexecuted (cyclic dependence graph?)", total-finished)
+	if r.finished != total {
+		return ReplayRun{}, fmt.Errorf("network: replay left %d gates unexecuted (cyclic dependence graph?)", total-r.finished)
 	}
 	for ci := range cs {
-		run.Results[ci].ExecutionTime = iontrap.Microseconds(makespans[ci])
-		run.Results[ci].AncillaWait = iontrap.Microseconds(waits[ci])
-		run.Results[ci].NetworkBlocked = iontrap.Microseconds(netBlocked[ci])
+		run.Results[ci].ExecutionTime = iontrap.Microseconds(r.tops[ci])
+		run.Results[ci].AncillaWait = iontrap.Microseconds(r.waits[ci])
+		run.Results[ci].NetworkBlocked = iontrap.Microseconds(r.netBlocked[ci])
 	}
-	run.Makespan = iontrap.Microseconds(makespan)
+	run.Makespan = iontrap.Microseconds(r.makespan)
 	run.Events = stats.Events
 	run.Links = make([]LinkStat, len(links))
 	for i, l := range links {
 		run.Links[i] = LinkStat{
 			Link:          l,
-			PairsConsumed: buffers[i].Consumed(),
-			HighWater:     buffers[i].HighWater(),
-			ProducerStall: producers[i].StallTime(),
+			PairsConsumed: r.bufs[i].Consumed(),
+			HighWater:     r.bufs[i].HighWater(),
+			ProducerStall: r.prods[i].StallTime(),
 		}
 	}
 	return run, nil

@@ -1,0 +1,32 @@
+package noise
+
+import (
+	"math/rand"
+	"testing"
+
+	"speedofdata/internal/steane"
+)
+
+// benchmarkChunk measures raw Monte Carlo trial throughput per sampling
+// mode on the verify-and-correct circuit (the paper's factory preparation,
+// and the costliest Figure 4 variant).  BENCH_noise.json at the repository
+// root records the same comparison.
+func benchmarkChunk(b *testing.B, mode Sampling) {
+	code := steane.NewCode()
+	s, err := NewSimulator(code, steane.VerifyAndCorrectProtocol(code), DefaultModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Sampling = mode
+	const trials = 8192
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.monteCarloChunk(rand.New(rand.NewSource(int64(i))), trials)
+	}
+	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
+}
+
+func BenchmarkMonteCarloChunkLegacy(b *testing.B) { benchmarkChunk(b, SamplingLegacy) }
+func BenchmarkMonteCarloChunkDense(b *testing.B)  { benchmarkChunk(b, SamplingDense) }
+func BenchmarkMonteCarloChunkSparse(b *testing.B) { benchmarkChunk(b, SamplingSparse) }

@@ -1,0 +1,96 @@
+package noise
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The whole compiled Monte Carlo rests on lfRand reproducing math/rand's
+// stream exactly.  Compare against a twin *rand.Rand across every draw kind
+// the trial loop uses, over enough values to cycle the 607-entry state
+// vector many times (and so cover both the replayed warm-up revolution and
+// the live recurrence).
+func TestLFRandMatchesMathRand(t *testing.T) {
+	for _, seed := range []int64{0, 1, -7, 42, 1 << 40, -(1 << 52)} {
+		var lf lfRand
+		lf.capture(rand.New(rand.NewSource(seed)))
+		ref := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20000; i++ {
+			if got, want := lf.int63(), ref.Int63(); got != want {
+				t.Fatalf("seed %d draw %d: int63 = %d, want %d", seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestLFRandFloat64AndIntnMatchMathRand(t *testing.T) {
+	for _, seed := range []int64{1, 99, -12345} {
+		var lf lfRand
+		lf.capture(rand.New(rand.NewSource(seed)))
+		ref := rand.New(rand.NewSource(seed))
+		// Interleave the exact call mix of a Monte Carlo trial: mostly
+		// Float64, with occasional Intn of the fault-choice sizes.
+		for i := 0; i < 20000; i++ {
+			if got, want := lf.Float64(), ref.Float64(); got != want {
+				t.Fatalf("seed %d draw %d: Float64 = %v, want %v", seed, i, got, want)
+			}
+			if i%7 == 0 {
+				n := []int{1, 3, 6}[i%3]
+				if got, want := lf.intn(n), ref.Intn(n); got != want {
+					t.Fatalf("seed %d draw %d: intn(%d) = %d, want %d", seed, i, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The integer threshold comparison used by the dense trial loop must agree
+// with Float64() < p for every location probability, because that is how
+// the legacy injector decides faults.  The raw-value retry bound must match
+// the f == 1 resample too.
+func TestLFRandThresholdEquivalence(t *testing.T) {
+	probs := []float64{1e-6, 1e-4, 0.5, 0.999999, 1}
+	var a, b lfRand
+	a.capture(rand.New(rand.NewSource(7)))
+	b.capture(rand.New(rand.NewSource(7)))
+	for i := 0; i < 50000; i++ {
+		p := probs[i%len(probs)]
+		vthresh := intThreshold(p)
+		v := b.gen() & lfMask
+		for v >= lfRetryMin {
+			v = b.gen() & lfMask
+		}
+		if got, want := v < vthresh, a.Float64() < p; got != want {
+			t.Fatalf("draw %d p=%v: integer compare = %v, Float64 compare = %v", i, p, got, want)
+		}
+	}
+}
+
+// The retry bound and threshold compiler agree with the float64 rounding
+// boundary at the edges.
+func TestIntThresholdBoundaries(t *testing.T) {
+	if intThreshold(0) != -1 || intThreshold(-0.5) != -1 {
+		t.Error("non-positive probabilities must compile to the no-draw sentinel")
+	}
+	for _, v := range []int64{lfRetryMin - 1, lfRetryMin, lfRetryMin + 1} {
+		want := float64(v)/(1<<63) == 1
+		if got := v >= lfRetryMin; got != want {
+			t.Errorf("retry bound wrong at %d: integer %v, float %v", v, got, want)
+		}
+	}
+	for _, p := range []float64{1e-300, 1e-9, 1e-4, 0.25, 0.5, 1 - 1e-16, 1} {
+		vt := intThreshold(p)
+		for _, v := range []int64{vt - 1, vt, vt + 1} {
+			if v < 0 || v > lfMask {
+				continue
+			}
+			f := float64(v) / (1 << 63)
+			if f == 1 {
+				continue // resampled before the compare
+			}
+			if got, want := v < vt, f < p; got != want {
+				t.Errorf("p=%v v=%d: integer compare %v, float compare %v", p, v, got, want)
+			}
+		}
+	}
+}

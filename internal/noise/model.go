@@ -13,7 +13,10 @@
 // oracle for the ordering of the Figure 4 circuit variants.
 package noise
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Model holds the error-model parameters of Section 2.2.
 type Model struct {
@@ -36,6 +39,21 @@ func DefaultModel() Model {
 		MoveError:                  1e-6,
 		MovementOpsPerTwoQubitGate: 6,
 	}
+}
+
+// AppendKey implements engine.Keyer: the byte-exact %v rendering of the
+// struct ("{GateError MoveError MovementOpsPerTwoQubitGate}") without fmt's
+// reflection.  Monte Carlo chunk keys embed the model and are built per
+// chunk on the experiment hot path; the rendering must stay identical
+// because job keys seed the chunk RNG streams.
+func (m Model) AppendKey(b []byte) []byte {
+	b = append(b, '{')
+	b = strconv.AppendFloat(b, m.GateError, 'g', -1, 64)
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, m.MoveError, 'g', -1, 64)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(m.MovementOpsPerTwoQubitGate), 10)
+	return append(b, '}')
 }
 
 // Validate reports an error for out-of-range probabilities.

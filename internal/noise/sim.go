@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 
 	"speedofdata/internal/engine"
 	"speedofdata/internal/steane"
@@ -64,11 +65,56 @@ type TrialResult struct {
 	Residual bool
 }
 
+// Sampling selects the Monte Carlo trial executor.
+type Sampling int
+
+const (
+	// SamplingDense is the default: the compiled trial program draws one
+	// random value per error location in exactly the order the legacy
+	// interpreter did, so estimates are byte-identical for the same seed.
+	SamplingDense Sampling = iota
+	// SamplingSparse samples the set of faulty locations directly
+	// (geometric skipping) and short-circuits fault-free trials.  It is
+	// statistically exact but draws random values in a different order, so
+	// estimates differ from dense within Monte Carlo error.  Opt-in.
+	SamplingSparse
+	// SamplingLegacy is the original op-list interpreter, retained as the
+	// golden reference the compiled dense path is tested against (and the
+	// pre-optimisation baseline in BENCH_noise.json).  Identical estimates
+	// to SamplingDense.
+	SamplingLegacy
+)
+
+// String names the sampling mode.
+func (s Sampling) String() string {
+	switch s {
+	case SamplingDense:
+		return "dense"
+	case SamplingSparse:
+		return "sparse"
+	case SamplingLegacy:
+		return "legacy"
+	default:
+		return fmt.Sprintf("sampling(%d)", int(s))
+	}
+}
+
 // Simulator evaluates one preparation protocol under one error model.
 type Simulator struct {
 	Code     steane.Code
 	Protocol *steane.Protocol
 	Model    Model
+	// Sampling selects the Monte Carlo executor (default SamplingDense).
+	// It must be set before the first Monte Carlo call and not changed
+	// afterwards.
+	Sampling Sampling
+
+	// compiled holds the lazily built trial program and the cached protocol
+	// fingerprint.  Protocol and Model must not be mutated once the first
+	// Monte Carlo call has compiled them.
+	compileOnce sync.Once
+	prog        *trialProgram
+	fp          string
 }
 
 // NewSimulator constructs a simulator, validating the protocol and model.
@@ -83,6 +129,16 @@ func NewSimulator(code steane.Code, p *steane.Protocol, m Model) (*Simulator, er
 		return nil, fmt.Errorf("noise: protocol %q has %d qubits; the Pauli-frame simulator supports up to 64", p.Name, p.NumQubits)
 	}
 	return &Simulator{Code: code, Protocol: p, Model: m}, nil
+}
+
+// compiled returns the trial program and protocol fingerprint, building
+// them on first use (once; Monte Carlo chunks race here under the engine).
+func (s *Simulator) compiled() (*trialProgram, string) {
+	s.compileOnce.Do(func() {
+		s.prog = compileProgram(s.Code, s.Protocol, s.Model)
+		s.fp = protocolFingerprint(s.Protocol)
+	})
+	return s.prog, s.fp
 }
 
 // frame is the Pauli frame of a run: X and Z error bitmasks over the
@@ -363,24 +419,45 @@ func (a mcCounts) add(b mcCounts) mcCounts {
 	}
 }
 
+// tally records one trial outcome.
+func (c *mcCounts) tally(r TrialResult) {
+	if r.Rejected {
+		c.Rejected++
+		return
+	}
+	c.Accepted++
+	if r.Uncorrectable {
+		c.Uncorrectable++
+	}
+	if r.Residual {
+		c.Residual++
+	}
+}
+
 // monteCarloChunk runs `trials` protocol simulations drawing faults from the
-// injected RNG stream and tallies the outcomes.
+// injected RNG stream and tallies the outcomes, dispatching on the
+// configured sampling mode.
 func (s *Simulator) monteCarloChunk(rng *rand.Rand, trials int) mcCounts {
+	switch s.Sampling {
+	case SamplingLegacy:
+		return s.monteCarloChunkLegacy(rng, trials)
+	case SamplingSparse:
+		prog, _ := s.compiled()
+		return prog.sparseChunk(rng, trials)
+	default:
+		prog, _ := s.compiled()
+		return prog.denseChunk(rng, trials)
+	}
+}
+
+// monteCarloChunkLegacy is the original interpreter chunk: one runTrial per
+// trial through the injector interface.  It is the golden reference for the
+// compiled dense executor and the pre-optimisation benchmark baseline.
+func (s *Simulator) monteCarloChunkLegacy(rng *rand.Rand, trials int) mcCounts {
 	inj := &randomInjector{model: s.Model, rng: rng}
 	var c mcCounts
 	for i := 0; i < trials; i++ {
-		r := s.runTrial(inj)
-		if r.Rejected {
-			c.Rejected++
-			continue
-		}
-		c.Accepted++
-		if r.Uncorrectable {
-			c.Uncorrectable++
-		}
-		if r.Residual {
-			c.Residual++
-		}
+		c.tally(s.runTrial(inj))
 	}
 	return c
 }
@@ -388,6 +465,9 @@ func (s *Simulator) monteCarloChunk(rng *rand.Rand, trials int) mcCounts {
 // protocolFingerprint identifies a protocol for cache keys by hashing its
 // full op sequence: protocols that differ anywhere must never share Monte
 // Carlo chunk results or RNG streams, even if name and shape coincide.
+// It walks (and formats) every op, so the Simulator computes it once and
+// caches it alongside the compiled program (see compiled) instead of
+// re-deriving it on every MonteCarloEngine call.
 func protocolFingerprint(p *steane.Protocol) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%d|", p.Name, p.NumQubits)
@@ -425,15 +505,22 @@ func (s *Simulator) MonteCarloEngine(ctx context.Context, eng *engine.Engine, tr
 		panic("noise: trials must be positive")
 	}
 	chunks := (trials + mcChunkTrials - 1) / mcChunkTrials
-	fp := protocolFingerprint(s.Protocol)
+	_, fp := s.compiled()
 	jobs := make([]engine.Job[mcCounts], chunks)
 	for i := 0; i < chunks; i++ {
 		n := mcChunkTrials
 		if i == chunks-1 {
 			n = trials - i*mcChunkTrials
 		}
+		// Dense and legacy sampling share keys (and therefore RNG streams
+		// and cached results): they are the same estimator.  Sparse draws
+		// differently and must never share a chunk result with them.
+		key := engine.NewKey("noise.mc").Str(fp).Keyer(s.Model).Int64(seed).Int(i).Int(n)
+		if s.Sampling == SamplingSparse {
+			key = key.Str("sparse")
+		}
 		jobs[i] = engine.Job[mcCounts]{
-			Key: engine.Fingerprint("noise.mc", fp, s.Model, seed, i, n),
+			Key: key.String(),
 			Run: func(_ context.Context, rng *rand.Rand) (mcCounts, error) {
 				return s.monteCarloChunk(rng, n), nil
 			},

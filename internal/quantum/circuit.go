@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 )
 
 // Circuit is an ordered list of gates over a fixed set of qubits.  The same
@@ -20,6 +21,11 @@ type Circuit struct {
 	// DataQubits optionally lists which qubits are long-lived data (or data
 	// ancillae) as opposed to scratch; nil means all qubits are data.
 	DataQubits []int
+
+	// dag memoises the dataflow graph (see DAG); it is built on first use
+	// and assumes the gate sequence is final by then.
+	dagOnce sync.Once
+	dag     *DAG
 }
 
 // NewCircuit returns an empty circuit over n qubits.

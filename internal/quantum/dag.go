@@ -21,6 +21,13 @@ type DAG struct {
 // through the last writer of each qubit; measurements and preparations take
 // part in the dependence chain like any other gate (a preparation after a
 // measurement models qubit reuse).
+//
+// The builder is allocation-lean — it used to sit on the profile of every
+// sweep.  Edges are counted in a first pass (duplicate predecessors deduped
+// with a stamp array instead of a per-gate map) and laid out in two shared
+// backing arrays in a second, so a build costs a handful of allocations
+// regardless of gate count.  Edge order is unchanged: Succ in discovery
+// (gate-index) order, Pred in operand order.
 func BuildDAG(c *Circuit) *DAG {
 	n := len(c.Gates)
 	d := &DAG{
@@ -33,22 +40,68 @@ func BuildDAG(c *Circuit) *DAG {
 	for i := range lastWriter {
 		lastWriter[i] = -1
 	}
+	// Pass 1: count each gate's in- and out-degree.  stamp[w] == i+1 marks
+	// writer w as already linked to gate i (a two-qubit gate whose operands
+	// share a last writer contributes one edge, not two).
+	stamp := make([]int, n)
+	outDeg := make([]int, n)
+	edges := 0
 	for i, g := range c.Gates {
-		seen := make(map[int]bool, len(g.Qubits))
 		for _, q := range g.Qubits {
-			w := lastWriter[q]
-			if w >= 0 && !seen[w] {
-				d.Succ[w] = append(d.Succ[w], i)
-				d.Pred[i] = append(d.Pred[i], w)
-				seen[w] = true
+			if w := lastWriter[q]; w >= 0 && stamp[w] != i+1 {
+				stamp[w] = i + 1
+				d.InDegree[i]++
+				outDeg[w]++
+				edges++
 			}
 		}
 		for _, q := range g.Qubits {
 			lastWriter[q] = i
 		}
-		d.InDegree[i] = len(d.Pred[i])
+	}
+	// Pass 2: carve per-gate slices out of two shared arrays and fill them
+	// in the same discovery order as pass 1.
+	succBack := make([]int, 0, edges)
+	predBack := make([]int, 0, edges)
+	pos := 0
+	for i := range d.Succ {
+		d.Succ[i] = succBack[pos : pos : pos+outDeg[i]]
+		pos += outDeg[i]
+	}
+	pos = 0
+	for i := range d.Pred {
+		d.Pred[i] = predBack[pos : pos : pos+d.InDegree[i]]
+		pos += d.InDegree[i]
+	}
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	for i, g := range c.Gates {
+		for _, q := range g.Qubits {
+			// A distinct stamp space (offset by n) redoes the dedup.
+			if w := lastWriter[q]; w >= 0 && stamp[w] != n+i+1 {
+				stamp[w] = n + i + 1
+				d.Succ[w] = append(d.Succ[w], i)
+				d.Pred[i] = append(d.Pred[i], w)
+			}
+		}
+		for _, q := range g.Qubits {
+			lastWriter[q] = i
+		}
 	}
 	return d
+}
+
+// DAG returns the circuit's dataflow graph, built once and cached: sweeps
+// simulate the same circuit at hundreds of configurations, and the graph
+// only depends on the gate sequence.  Call it only after the circuit is
+// fully constructed (appending gates afterwards would desynchronise the
+// cache); the returned DAG is shared and must be treated as read-only —
+// simulators copy InDegree before decrementing it.  Safe for concurrent
+// use.
+func (c *Circuit) DAG() *DAG {
+	c.dagOnce.Do(func() { c.dag = BuildDAG(c) })
+	return c.dag
 }
 
 // Roots returns the gates with no predecessors.

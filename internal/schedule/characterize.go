@@ -85,7 +85,7 @@ func Characterize(c *quantum.Circuit, m LatencyModel) (Characterization, error) 
 		return out, nil
 	}
 
-	dag := quantum.BuildDAG(c)
+	dag := c.DAG()
 
 	// No-overlap critical path, then decompose it gate by gate.
 	finish, _ := dag.WeightedCriticalPath(func(g quantum.Gate) float64 {
@@ -203,7 +203,7 @@ func DemandProfile(c *quantum.Circuit, m LatencyModel, buckets int) ([]DemandPoi
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	dag := quantum.BuildDAG(c)
+	dag := c.DAG()
 	finish, makespan := dag.WeightedCriticalPath(func(g quantum.Gate) float64 {
 		return float64(m.GateWeightSpeedOfData(g))
 	})
@@ -307,7 +307,7 @@ func SimulateWithThroughput(c *quantum.Circuit, m LatencyModel, ratePerMs float6
 		// and is fine).
 		return 0, fmt.Errorf("schedule: throughput %v/ms: %w", ratePerMs, sim.ErrZeroRate)
 	}
-	dag := quantum.BuildDAG(c)
+	dag := c.DAG()
 	ratePerUs := ratePerMs / 1000.0
 	perGateAncillae := float64(m.ZeroAncillaePerQEC)
 

@@ -3,6 +3,7 @@ package schedule
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"speedofdata/internal/iontrap"
 	"speedofdata/internal/quantum"
@@ -99,6 +100,169 @@ func Replay(c *quantum.Circuit, m LatencyModel, supply Supply) (ReplayRun, error
 	return ReplayShared([]*quantum.Circuit{c}, m, supply)
 }
 
+// flatGate addresses one gate in the flattened multi-circuit gate space.
+type flatGate struct {
+	circuit int
+	gate    int
+}
+
+// replayState is the pooled per-run state of ReplayShared.  It implements
+// sim.Handler so the per-event schedule — one completion per gate, one
+// supply grant per buffered gate, the dispatcher — carries a flat gate
+// index instead of allocating a closure per event.
+type replayState struct {
+	k  *sim.Kernel
+	rq *sim.TaskQueue
+	m  LatencyModel
+	cs []*quantum.Circuit
+
+	run  *ReplayRun
+	flat []flatGate
+	dags []*quantum.DAG
+	offs []int
+
+	fluid    bool
+	fluidSrc sim.FluidSource
+	buffer   *sim.Resource
+	producer *sim.Producer
+	perGate  float64
+
+	ready []float64
+	indeg []int
+	pend  []pendIssue
+	waits []float64
+	tops  []float64 // per-circuit makespans
+
+	total             int
+	finished          int
+	makespan          float64
+	dispatchScheduled bool
+}
+
+// pendIssue carries a buffered gate's dispatch-time values to its grant.
+type pendIssue struct {
+	start, weight float64
+}
+
+var replayStatePool = sync.Pool{New: func() any { return new(replayState) }}
+
+const replayDispatchIdx = -1
+
+// Fire implements sim.Handler: -1 dispatches, [0,total) completes a gate,
+// [total,2·total) grants a gate's supply request.
+func (r *replayState) Fire(idx int) {
+	switch {
+	case idx == replayDispatchIdx:
+		r.dispatch()
+	case idx >= r.total:
+		r.granted(idx - r.total)
+	default:
+		r.completed(idx)
+	}
+}
+
+func (r *replayState) scheduleDispatch() {
+	if !r.dispatchScheduled {
+		r.dispatchScheduled = true
+		r.k.AtFire(r.k.Now(), sim.PriorityLate, r, replayDispatchIdx)
+	}
+}
+
+func (r *replayState) finishGate(fi int, finishAt float64) {
+	fg := r.flat[fi]
+	if finishAt > r.tops[fg.circuit] {
+		r.tops[fg.circuit] = finishAt
+	}
+	if finishAt > r.makespan {
+		r.makespan = finishAt
+	}
+	r.k.AtFire(iontrap.Microseconds(finishAt), sim.PriorityNormal, r, fi)
+}
+
+func (r *replayState) completed(fi int) {
+	finishAt := float64(r.k.Now())
+	fg := r.flat[fi]
+	r.finished++
+	for _, s := range r.dags[fg.circuit].Succ[fg.gate] {
+		si := r.offs[fg.circuit] + s
+		if finishAt > r.ready[si] {
+			r.ready[si] = finishAt
+		}
+		r.indeg[si]--
+		if r.indeg[si] == 0 {
+			r.rq.Push(sim.Task{Index: si, Ready: r.ready[si]})
+			r.scheduleDispatch()
+		}
+	}
+	if r.finished == r.total {
+		r.k.Stop()
+	}
+}
+
+func (r *replayState) granted(fi int) {
+	issue := float64(r.k.Now())
+	fg := r.flat[fi]
+	p := r.pend[fi]
+	r.waits[fg.circuit] += issue - p.start
+	r.finishGate(fi, issue+p.weight)
+}
+
+func (r *replayState) dispatch() {
+	r.dispatchScheduled = false
+	for r.rq.Len() > 0 {
+		item := r.rq.Pop()
+		fi := item.Index
+		fg := r.flat[fi]
+		g := r.cs[fg.circuit].Gates[fg.gate]
+		start := item.Ready
+		weight := float64(r.m.GateWeightSpeedOfData(g))
+		r.run.Results[fg.circuit].AncillaeConsumed += r.m.ZeroAncillaePerQEC
+		if r.fluid {
+			issue := start
+			if t := r.fluidSrc.AvailableAt(r.perGate); t > issue {
+				issue = t
+			}
+			r.waits[fg.circuit] += issue - start
+			r.finishGate(fi, issue+weight)
+		} else {
+			r.pend[fi] = pendIssue{start: start, weight: weight}
+			r.buffer.AcquireFire(r.perGate, r, r.total+fi)
+		}
+	}
+}
+
+// grow resizes the flattened per-gate and per-circuit arrays, reusing
+// capacity across pooled runs.
+func (r *replayState) grow(total, circuits int) {
+	r.total = total
+	if cap(r.flat) < total {
+		r.flat = make([]flatGate, total)
+		r.ready = make([]float64, total)
+		r.indeg = make([]int, total)
+		r.pend = make([]pendIssue, total)
+	}
+	r.flat = r.flat[:total]
+	r.ready = r.ready[:total]
+	r.indeg = r.indeg[:total]
+	r.pend = r.pend[:total]
+	for i := range r.ready {
+		r.ready[i] = 0
+	}
+	if cap(r.dags) < circuits {
+		r.dags = make([]*quantum.DAG, circuits)
+		r.offs = make([]int, circuits)
+		r.waits = make([]float64, circuits)
+		r.tops = make([]float64, circuits)
+	}
+	r.dags = r.dags[:circuits]
+	r.offs = r.offs[:circuits]
+	r.waits = r.waits[:circuits]
+	r.tops = r.tops[:circuits]
+	for i := 0; i < circuits; i++ {
+		r.waits[i], r.tops[i] = 0, 0
+	}
+}
+
 // ReplayShared co-schedules several circuits against one shared ancilla
 // supply — the contention scenario: independent benchmarks, one factory
 // bank.  Gates from all circuits issue in first-come-first-served order of
@@ -116,155 +280,98 @@ func ReplayShared(cs []*quantum.Circuit, m LatencyModel, supply Supply) (ReplayR
 	}
 
 	run := ReplayRun{Results: make([]ReplayResult, len(cs))}
-	type flatGate struct {
-		circuit int
-		gate    int
-	}
-	var flat []flatGate
-	dags := make([]*quantum.DAG, len(cs))
-	offsets := make([]int, len(cs))
-	for ci, c := range cs {
+	total := 0
+	for _, c := range cs {
 		if err := c.Validate(); err != nil {
 			return ReplayRun{}, err
 		}
-		dags[ci] = quantum.BuildDAG(c)
-		offsets[ci] = len(flat)
-		for gi := range c.Gates {
-			flat = append(flat, flatGate{circuit: ci, gate: gi})
+		total += len(c.Gates)
+	}
+
+	r := replayStatePool.Get().(*replayState)
+	defer func() {
+		r.k, r.rq, r.cs, r.run, r.buffer, r.producer = nil, nil, nil, nil, nil, nil
+		for i := range r.dags {
+			r.dags[i] = nil
 		}
-		r := &run.Results[ci]
-		r.Name = c.Name
-		r.Gates = len(c.Gates)
-		_, sod := dags[ci].WeightedCriticalPath(func(g quantum.Gate) float64 {
+		replayStatePool.Put(r)
+	}()
+	r.m, r.cs, r.run = m, cs, &run
+	r.finished, r.makespan, r.dispatchScheduled = 0, 0, false
+	r.grow(total, len(cs))
+
+	fi := 0
+	for ci, c := range cs {
+		r.dags[ci] = c.DAG()
+		r.offs[ci] = fi
+		for gi := range c.Gates {
+			r.flat[fi] = flatGate{circuit: ci, gate: gi}
+			fi++
+		}
+		res := &run.Results[ci]
+		res.Name = c.Name
+		res.Gates = len(c.Gates)
+		_, sod := r.dags[ci].WeightedCriticalPath(func(g quantum.Gate) float64 {
 			return float64(m.GateWeightSpeedOfData(g))
 		})
-		r.SpeedOfData = iontrap.Microseconds(sod)
+		res.SpeedOfData = iontrap.Microseconds(sod)
 		for _, g := range c.Gates {
-			r.DataOpBusy += m.DataOpLatency(g)
-			r.QECInteractBusy += m.QECInteractLatency()
+			res.DataOpBusy += m.DataOpLatency(g)
+			res.QECInteractBusy += m.QECInteractLatency()
 		}
 	}
-	total := len(flat)
 	if total == 0 {
 		return run, nil
 	}
 
-	k := sim.NewKernel()
+	r.k = sim.AcquireKernel()
+	defer r.k.Release()
+	r.rq = sim.AcquireTaskQueue()
+	defer r.rq.Release()
+
 	ratePerUs := supply.RatePerMs / 1000.0
-	perGateAncillae := float64(m.ZeroAncillaePerQEC)
-	fluid := supply.BufferAncillae <= 0
-	var fluidSrc *sim.FluidSource
-	var buffer *sim.Resource
-	var producer *sim.Producer
-	var err error
-	if fluid {
-		if fluidSrc, err = sim.NewFluidSource(ratePerUs); err != nil {
+	r.perGate = float64(m.ZeroAncillaePerQEC)
+	r.fluid = supply.BufferAncillae <= 0
+	if r.fluid {
+		if err := r.fluidSrc.Reset(ratePerUs); err != nil {
 			return ReplayRun{}, err
 		}
 	} else {
-		buffer = sim.NewResource(k, "shared zero supply", supply.BufferAncillae)
-		if producer, err = sim.NewProducer(k, "shared zero supply", buffer, ratePerUs, 1); err != nil {
+		r.buffer = sim.NewResource(r.k, "shared zero supply", supply.BufferAncillae)
+		producer, err := sim.NewProducer(r.k, "shared zero supply", r.buffer, ratePerUs, 1)
+		if err != nil {
 			return ReplayRun{}, err
 		}
+		r.producer = producer
 		producer.Start()
 	}
 
-	ready := make([]float64, total)
-	indeg := make([]int, total)
-	for ci, d := range dags {
-		copy(indeg[offsets[ci]:offsets[ci]+len(d.InDegree)], d.InDegree)
+	for ci, d := range r.dags {
+		copy(r.indeg[r.offs[ci]:r.offs[ci]+len(d.InDegree)], d.InDegree)
 	}
-
-	rq := &sim.TaskQueue{}
-	finished := 0
-	dispatchScheduled := false
-	waits := make([]float64, len(cs))
-	makespans := make([]float64, len(cs))
-	makespan := 0.0
-
-	var dispatch func()
-	scheduleDispatch := func() {
-		if !dispatchScheduled {
-			dispatchScheduled = true
-			k.At(k.Now(), sim.PriorityLate, dispatch)
-		}
-	}
-	finishGate := func(fi int, finishAt float64) {
-		fg := flat[fi]
-		if finishAt > makespans[fg.circuit] {
-			makespans[fg.circuit] = finishAt
-		}
-		if finishAt > makespan {
-			makespan = finishAt
-		}
-		k.At(iontrap.Microseconds(finishAt), sim.PriorityNormal, func() {
-			finished++
-			for _, s := range dags[fg.circuit].Succ[fg.gate] {
-				si := offsets[fg.circuit] + s
-				if finishAt > ready[si] {
-					ready[si] = finishAt
-				}
-				indeg[si]--
-				if indeg[si] == 0 {
-					rq.Push(sim.Task{Index: si, Ready: ready[si]})
-					scheduleDispatch()
-				}
-			}
-			if finished == total {
-				k.Stop()
-			}
-		})
-	}
-	dispatch = func() {
-		dispatchScheduled = false
-		for rq.Len() > 0 {
-			item := rq.Pop()
-			fi := item.Index
-			fg := flat[fi]
-			g := cs[fg.circuit].Gates[fg.gate]
-			start := item.Ready
-			weight := float64(m.GateWeightSpeedOfData(g))
-			run.Results[fg.circuit].AncillaeConsumed += m.ZeroAncillaePerQEC
-			if fluid {
-				issue := start
-				if t := fluidSrc.AvailableAt(perGateAncillae); t > issue {
-					issue = t
-				}
-				waits[fg.circuit] += issue - start
-				finishGate(fi, issue+weight)
-			} else {
-				buffer.Acquire(perGateAncillae, func() {
-					issue := float64(k.Now())
-					waits[fg.circuit] += issue - start
-					finishGate(fi, issue+weight)
-				})
-			}
-		}
-	}
-
-	for fi, d := range indeg {
+	for i, d := range r.indeg {
 		if d == 0 {
-			rq.Push(sim.Task{Index: fi, Ready: 0})
+			r.rq.Push(sim.Task{Index: i, Ready: 0})
 		}
 	}
-	k.At(0, sim.PriorityLate, dispatch)
-	dispatchScheduled = true
-	stats := k.Run()
+	r.k.AtFire(0, sim.PriorityLate, r, replayDispatchIdx)
+	r.dispatchScheduled = true
+	stats := r.k.Run()
 
-	if finished != total {
-		return ReplayRun{}, fmt.Errorf("schedule: replay left %d gates unexecuted (cyclic dependence graph?)", total-finished)
+	if r.finished != total {
+		return ReplayRun{}, fmt.Errorf("schedule: replay left %d gates unexecuted (cyclic dependence graph?)", total-r.finished)
 	}
 	for ci := range cs {
-		run.Results[ci].ExecutionTime = iontrap.Microseconds(makespans[ci])
-		run.Results[ci].AncillaWait = iontrap.Microseconds(waits[ci])
+		run.Results[ci].ExecutionTime = iontrap.Microseconds(r.tops[ci])
+		run.Results[ci].AncillaWait = iontrap.Microseconds(r.waits[ci])
 	}
-	run.Makespan = iontrap.Microseconds(makespan)
+	run.Makespan = iontrap.Microseconds(r.makespan)
 	run.Events = stats.Events
-	if producer != nil {
-		run.ProducerStall = producer.StallTime()
+	if r.producer != nil {
+		run.ProducerStall = r.producer.StallTime()
 	}
-	if buffer != nil {
-		run.BufferHighWater = buffer.HighWater()
+	if r.buffer != nil {
+		run.BufferHighWater = r.buffer.HighWater()
 	}
 	return run, nil
 }

@@ -149,6 +149,13 @@ func (s *Server) queryParams(r *http.Request) (core.Experiments, core.RunParams,
 		}
 		p.Seed = n
 	}
+	if v := q.Get("sparse"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fail("sparse", err)
+		}
+		p.Sparse = b
+	}
 	if v := q.Get("benchmark"); v != "" {
 		p.Benchmark = v
 	}

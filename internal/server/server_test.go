@@ -181,6 +181,7 @@ func TestErrorResponses(t *testing.T) {
 		{"/v1/experiments/fig15?arch=warp", http.StatusBadRequest},
 		{"/v1/experiments/table1?bits=-3", http.StatusBadRequest},
 		{"/v1/experiments/fig4?trials=zillions", http.StatusBadRequest},
+		{"/v1/experiments/fig4?sparse=perhaps", http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		status, body, _ := get(t, ts.URL+c.url)
@@ -272,6 +273,45 @@ func TestProgressSSE(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("no progress event received")
+	}
+}
+
+// TestSparseSamplingParameter serves fig4 with the sparse Monte Carlo
+// sampler and checks the result differs from the dense default (distinct
+// cache keys, distinct draws) while remaining a valid report.
+func TestSparseSamplingParameter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two fig4 Monte Carlos")
+	}
+	ts, _ := newTestServer(t)
+	status, dense, _ := get(t, ts.URL+"/v1/experiments/fig4?format=json&trials=20000&seed=5")
+	if status != http.StatusOK {
+		t.Fatalf("dense fig4: status %d: %s", status, dense)
+	}
+	status, sparse, _ := get(t, ts.URL+"/v1/experiments/fig4?format=json&trials=20000&seed=5&sparse=true")
+	if status != http.StatusOK {
+		t.Fatalf("sparse fig4: status %d: %s", status, sparse)
+	}
+	var doc struct {
+		Sections []struct {
+			ID string `json:"id"`
+		} `json:"sections"`
+	}
+	if err := json.Unmarshal([]byte(sparse), &doc); err != nil || len(doc.Sections) != 1 {
+		t.Fatalf("sparse fig4: bad document: %v %s", err, sparse)
+	}
+	// The sparse sampler draws differently, so the estimates (and therefore
+	// the rendered bodies) must differ from the dense default — this is what
+	// catches a server that silently drops the parameter (the two must also
+	// never share cache keys, or this request would be answered with the
+	// dense result computed above).
+	if sparse == dense {
+		t.Fatal("sparse=true returned the dense result; the parameter is not reaching the sampler")
+	}
+	// Repeating the sparse request must be deterministic (cache or not).
+	status, sparse2, _ := get(t, ts.URL+"/v1/experiments/fig4?format=json&trials=20000&seed=5&sparse=1")
+	if status != http.StatusOK || sparse2 != sparse {
+		t.Errorf("sparse fig4 not deterministic across requests")
 	}
 }
 

@@ -31,6 +31,17 @@ func NewFluidSource(ratePerUs float64) (*FluidSource, error) {
 	return &FluidSource{ratePerUs: ratePerUs}, nil
 }
 
+// Reset re-initialises the source in place for a new run (same validation
+// as NewFluidSource), letting simulation drivers reuse per-source storage
+// across runs.
+func (s *FluidSource) Reset(ratePerUs float64) error {
+	if !(ratePerUs > 0) {
+		return fmt.Errorf("fluid source rate %v: %w", ratePerUs, ErrZeroRate)
+	}
+	*s = FluidSource{ratePerUs: ratePerUs}
+	return nil
+}
+
 // AvailableAt reserves n more ancillae and returns the earliest time (in
 // microseconds since the run started) by which the cumulative reservation has
 // been produced.  The arithmetic — accumulate, then divide once — is exactly
@@ -46,11 +57,21 @@ func (s *FluidSource) Consumed() float64 { return s.consumed }
 
 // request is one pending Acquire: demand is delivered incrementally as the
 // resource is replenished (ancillae are handed over the moment they exist, so
-// a demand larger than the buffer capacity still completes).
+// a demand larger than the buffer capacity still completes).  The completion
+// is either a closure or a Handler+payload (the allocation-free form).
 type request struct {
 	remaining float64
 	since     iontrap.Microseconds
 	fn        func()
+	h         Handler
+	idx       int
+}
+
+// waiter is one registered OnSpace callback in either form.
+type waiter struct {
+	fn  func()
+	h   Handler
+	idx int
 }
 
 // Resource is a finite-buffer store of a fungible quantity (encoded
@@ -66,7 +87,7 @@ type Resource struct {
 	capacity float64 // <= 0 means unbounded
 	level    float64
 	pending  []request
-	waiters  []func() // producers blocked on a full buffer
+	waiters  []waiter // producers blocked on a full buffer
 
 	produced  float64
 	consumed  float64
@@ -105,8 +126,19 @@ func (r *Resource) Acquire(n float64, fn func()) {
 		r.k.At(r.k.Now(), PriorityNormal, fn)
 		return
 	}
-	r.pending = append(r.pending, request{remaining: n, since: r.k.Now()})
-	r.pending[len(r.pending)-1].fn = fn
+	r.pending = append(r.pending, request{remaining: n, since: r.k.Now(), fn: fn})
+	r.drain()
+}
+
+// AcquireFire is the allocation-free form of Acquire: h.Fire(idx) fires
+// once the full demand has been delivered.  Grant order and timing are
+// identical to Acquire.
+func (r *Resource) AcquireFire(n float64, h Handler, idx int) {
+	if n <= grantEps {
+		r.k.AtFire(r.k.Now(), PriorityNormal, h, idx)
+		return
+	}
+	r.pending = append(r.pending, request{remaining: n, since: r.k.Now(), h: h, idx: idx})
 	r.drain()
 }
 
@@ -159,7 +191,11 @@ func (r *Resource) deliver(take float64) {
 		done := *head
 		r.pending = r.pending[1:]
 		r.waitUs += r.k.Now() - done.since
-		r.k.At(r.k.Now(), PriorityNormal, done.fn)
+		if done.h != nil {
+			r.k.AtFire(r.k.Now(), PriorityNormal, done.h, done.idx)
+		} else {
+			r.k.At(r.k.Now(), PriorityNormal, done.fn)
+		}
 	}
 }
 
@@ -180,7 +216,11 @@ func (r *Resource) drain() {
 		ws := r.waiters
 		r.waiters = nil
 		for _, w := range ws {
-			w()
+			if w.h != nil {
+				w.h.Fire(w.idx)
+			} else {
+				w.fn()
+			}
 		}
 	}
 }
@@ -188,7 +228,25 @@ func (r *Resource) drain() {
 // OnSpace registers a one-shot callback invoked the next time buffered
 // quantity is consumed (i.e. space frees up).  Producers use it to resume
 // after stalling on a full buffer.
-func (r *Resource) OnSpace(fn func()) { r.waiters = append(r.waiters, fn) }
+func (r *Resource) OnSpace(fn func()) { r.waiters = append(r.waiters, waiter{fn: fn}) }
+
+// OnSpaceFire is the allocation-free form of OnSpace.
+func (r *Resource) OnSpaceFire(h Handler, idx int) {
+	r.waiters = append(r.waiters, waiter{h: h, idx: idx})
+}
+
+// Reset re-initialises the resource for a new run on kernel k, keeping the
+// pending/waiter slices' backing capacity.
+func (r *Resource) Reset(k *Kernel, name string, capacity float64) {
+	for i := range r.pending {
+		r.pending[i] = request{}
+	}
+	for i := range r.waiters {
+		r.waiters[i] = waiter{}
+	}
+	*r = Resource{Name: name, k: k, capacity: capacity,
+		pending: r.pending[:0], waiters: r.waiters[:0]}
+}
 
 // Producer deposits a fixed batch into a Resource at a steady cadence,
 // stalling (and accounting the stall) whenever the buffer is full.  It
@@ -230,8 +288,38 @@ func NewProducer(k *Kernel, name string, out *Resource, ratePerUs, batch float64
 	}, nil
 }
 
+// Producer event payloads for the Handler interface.
+const (
+	producerTick = iota
+	producerWake
+)
+
+// Fire implements Handler: production completions and buffer-space wakeups
+// schedule the producer itself with a payload instead of a bound-method
+// closure per event.
+func (p *Producer) Fire(idx int) {
+	if idx == producerTick {
+		p.tick()
+	} else {
+		p.wake()
+	}
+}
+
 // Start schedules the first completion one interval from now.
-func (p *Producer) Start() { p.k.After(p.interval, PriorityNormal, p.tick) }
+func (p *Producer) Start() { p.k.AfterFire(p.interval, PriorityNormal, p, producerTick) }
+
+// Reset re-initialises the producer for a new run, keeping its identity.
+func (p *Producer) Reset(k *Kernel, name string, out *Resource, ratePerUs, batch float64) error {
+	if !(ratePerUs > 0) {
+		return fmt.Errorf("producer %q rate %v: %w", name, ratePerUs, ErrZeroRate)
+	}
+	if batch <= 0 {
+		return fmt.Errorf("sim: producer %q has non-positive batch %v", name, batch)
+	}
+	*p = Producer{Name: name, k: k, out: out,
+		interval: iontrap.Microseconds(batch / ratePerUs), batch: batch}
+	return nil
+}
 
 // StallTime returns the total time the producer spent blocked on a full
 // buffer, including a stall still in progress at the current kernel time (so
@@ -262,7 +350,7 @@ func (p *Producer) flush() {
 			p.stalled = true
 			p.stalledAt = p.k.Now()
 		}
-		p.out.OnSpace(p.wake)
+		p.out.OnSpaceFire(p, producerWake)
 		return
 	}
 	p.held = 0
@@ -270,7 +358,7 @@ func (p *Producer) flush() {
 		p.stalled = false
 		p.stallUs += p.k.Now() - p.stalledAt
 	}
-	p.k.After(p.interval, PriorityNormal, p.tick)
+	p.k.AfterFire(p.interval, PriorityNormal, p, producerTick)
 }
 
 // wake retries the deposit after space freed up.

@@ -15,9 +15,20 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"speedofdata/internal/iontrap"
 )
+
+// Handler receives kernel events without a per-event closure.  Drivers that
+// schedule in loops (one completion per gate, one tick per production batch)
+// implement Fire and pass a small integer payload — typically a gate index —
+// through AtFire/AfterFire, so scheduling allocates nothing: the event holds
+// an interface already in hand plus an int, instead of a freshly allocated
+// closure capturing the same state.
+type Handler interface {
+	Fire(idx int)
+}
 
 // ErrZeroRate reports a producer or fluid source configured with a
 // non-positive production rate: nothing would ever become available, so the
@@ -39,12 +50,14 @@ const (
 	PriorityLate
 )
 
-// event is one scheduled callback.
+// event is one scheduled callback: either a closure or a Handler+payload.
 type event struct {
 	at  iontrap.Microseconds
 	pri Priority
 	seq uint64
 	fn  func()
+	h   Handler
+	idx int
 }
 
 // before is the heap ordering: time, then priority, then insertion sequence.
@@ -96,9 +109,28 @@ func (k *Kernel) At(t iontrap.Microseconds, pri Priority, fn func()) {
 	k.up(len(k.events) - 1)
 }
 
+// AtFire schedules h.Fire(idx) at absolute time t.  It is the
+// allocation-free form of At for callers that schedule in loops: the event
+// stores the handler interface and payload instead of a closure.  Ordering
+// is identical to At — events fire in (time, priority, insertion) order
+// regardless of which form scheduled them.
+func (k *Kernel) AtFire(t iontrap.Microseconds, pri Priority, h Handler, idx int) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before current time %v", t, k.now))
+	}
+	k.events = append(k.events, event{at: t, pri: pri, seq: k.seq, h: h, idx: idx})
+	k.seq++
+	k.up(len(k.events) - 1)
+}
+
 // After schedules fn d microseconds from now.
 func (k *Kernel) After(d iontrap.Microseconds, pri Priority, fn func()) {
 	k.At(k.now+d, pri, fn)
+}
+
+// AfterFire schedules h.Fire(idx) d microseconds from now.
+func (k *Kernel) AfterFire(d iontrap.Microseconds, pri Priority, h Handler, idx int) {
+	k.AtFire(k.now+d, pri, h, idx)
 }
 
 // Stop halts the run after the current event; remaining events are dropped.
@@ -114,13 +146,45 @@ func (k *Kernel) Run() Stats {
 		k.now = e.at
 		k.stats.Events++
 		k.stats.End = e.at
-		e.fn()
+		if e.h != nil {
+			e.h.Fire(e.idx)
+		} else {
+			e.fn()
+		}
 	}
 	return k.stats
 }
 
 // Pending returns the number of scheduled events not yet fired.
 func (k *Kernel) Pending() int { return len(k.events) }
+
+// Reset returns the kernel to time zero with an empty queue, keeping the
+// event slice's backing capacity so a reused kernel schedules without
+// reallocating.  Outstanding events are dropped (their closures released).
+func (k *Kernel) Reset() {
+	for i := range k.events {
+		k.events[i] = event{}
+	}
+	k.events = k.events[:0]
+	k.now, k.seq, k.stopped, k.stats = 0, 0, false, Stats{}
+}
+
+// kernelPool recycles kernels (and their event-queue capacity) across
+// simulation runs; see AcquireKernel.
+var kernelPool = sync.Pool{New: func() any { return NewKernel() }}
+
+// AcquireKernel returns a reset kernel, reusing pooled backing storage when
+// available.  Release it after the run so the next simulation skips the
+// queue's growth allocations.  Pooling never affects results: a reset
+// kernel is observationally identical to a new one.
+func AcquireKernel() *Kernel { return kernelPool.Get().(*Kernel) }
+
+// Release resets the kernel and returns it to the pool.  The caller must
+// not use it afterwards.
+func (k *Kernel) Release() {
+	k.Reset()
+	kernelPool.Put(k)
+}
 
 // up restores the heap property from leaf i.
 func (k *Kernel) up(i int) {
