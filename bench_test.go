@@ -22,6 +22,7 @@ import (
 	"speedofdata/internal/microarch"
 	"speedofdata/internal/network"
 	"speedofdata/internal/noise"
+	"speedofdata/internal/noise/stattest"
 	"speedofdata/internal/quantum"
 	"speedofdata/internal/schedule"
 	"speedofdata/internal/steane"
@@ -184,15 +185,22 @@ func BenchmarkFigure4_MonteCarlo(b *testing.B) {
 	b.ReportMetric(2000*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
 }
 
-// BenchmarkNoiseMonteCarloReport times the three Monte Carlo samplers —
+// BenchmarkNoiseMonteCarloReport times the four Monte Carlo samplers —
 // legacy (the pre-optimisation op interpreter), compiled dense
-// (byte-identical estimates) and sparse (statistically equivalent) — on
-// every Figure 4 preparation circuit and writes BENCH_noise.json: trials
-// per second, allocations per trial and the speedups over legacy, plus a
-// dense-vs-legacy parity check.  `go test -bench NoiseMonteCarloReport
-// -benchtime 1x` refreshes the file; the CI bench smoke does so on every
-// run.  Together with BENCH_sim.json and BENCH_network.json it forms the
-// repository's performance trajectory (see README).
+// (byte-identical estimates), sparse fault-set sampling and the bit-sliced
+// 64-wide word executor (both statistically equivalent) — at equal trial
+// budgets on every Figure 4 preparation circuit and writes
+// BENCH_noise.json: trials per second, allocations per trial and the
+// speedups over legacy and dense, plus a per-protocol parity check (byte
+// parity against legacy for dense, 3σ agreement against dense for sparse
+// and bit-sliced; a 3σ trip fails the bench).  The report also records one
+// sequential-sampling run (the `-ci` mode): at a deliberately high error
+// rate it must converge to a 1e-2 relative half-width using fewer trials
+// than the fixed default budget while publishing refining partials.
+// `go test -bench NoiseMonteCarloReport -benchtime 1x` refreshes the file;
+// the CI bench smoke does so on every run.  Together with BENCH_sim.json
+// and BENCH_network.json it forms the repository's performance trajectory
+// (see README).
 func BenchmarkNoiseMonteCarloReport(b *testing.B) {
 	type entry struct {
 		Protocol       string  `json:"protocol"`
@@ -202,33 +210,50 @@ func BenchmarkNoiseMonteCarloReport(b *testing.B) {
 		TrialsPerSec   float64 `json:"trials_per_sec"`
 		AllocsPerTrial float64 `json:"allocs_per_trial"`
 		SpeedupVsLeg   float64 `json:"speedup_vs_legacy"`
-		Parity         bool    `json:"parity_with_legacy"`
+		ParityKind     string  `json:"parity_kind"`
+		Parity         bool    `json:"parity"`
+	}
+	type ciRecord struct {
+		Protocol          string  `json:"protocol"`
+		GateError         float64 `json:"gate_error"`
+		Epsilon           float64 `json:"epsilon"`
+		Confidence        float64 `json:"confidence"`
+		TrialsUsed        int     `json:"trials_used"`
+		FixedDefault      int     `json:"fixed_default_trials"`
+		Converged         bool    `json:"converged"`
+		Partials          int     `json:"partials"`
+		UncorrectableRate float64 `json:"uncorrectable_rate"`
 	}
 	type document struct {
-		Description     string  `json:"description"`
-		Entries         []entry `json:"entries"`
-		DenseSpeedup    float64 `json:"total_dense_speedup_vs_legacy"`
-		SparseSpeedup   float64 `json:"total_sparse_speedup_vs_legacy"`
-		SparseOverDense float64 `json:"total_sparse_speedup_vs_dense"`
-		ParityFailures  int     `json:"parity_failures"`
+		Description        string   `json:"description"`
+		Entries            []entry  `json:"entries"`
+		DenseSpeedup       float64  `json:"total_dense_speedup_vs_legacy"`
+		SparseSpeedup      float64  `json:"total_sparse_speedup_vs_legacy"`
+		SparseOverDense    float64  `json:"total_sparse_speedup_vs_dense"`
+		BitSlicedSpeedup   float64  `json:"total_bitsliced_speedup_vs_legacy"`
+		BitSlicedOverDense float64  `json:"total_bitsliced_speedup_vs_dense"`
+		ParityFailures     int      `json:"parity_failures"`
+		Sequential         ciRecord `json:"sequential_sampling"`
 	}
 	const trials = 20000
 	code := steane.NewCode()
 	model := noise.DefaultModel()
 	doc := document{
-		Description: "Monte Carlo sampler comparison on the Figure 4 preparation circuits: legacy interpreter vs compiled dense (byte-identical estimates for a seed) vs sparse fault-set sampling (statistically equivalent), at the paper's error model.",
+		Description: "Monte Carlo sampler comparison on the Figure 4 preparation circuits at equal trial budgets: legacy interpreter vs compiled dense (byte-identical estimates for a seed) vs sparse fault-set sampling vs the bit-sliced 64-wide word executor (both 3-sigma-equivalent to dense), at the paper's error model; plus one sequential-sampling (ci-mode) convergence record.",
 	}
 	order := []string{"basic", "verify-only", "correct-only", "verify-and-correct"}
+	modes := []noise.Sampling{noise.SamplingLegacy, noise.SamplingDense, noise.SamplingSparse, noise.SamplingBitSliced}
+	modeNames := []string{"legacy", "dense", "sparse", "bitsliced"}
 	protocols := steane.StandardProtocols(code)
 	for i := 0; i < b.N; i++ {
 		doc.Entries = doc.Entries[:0]
 		doc.ParityFailures = 0
-		var legTotal, denseTotal, sparseTotal time.Duration
+		var total [4]time.Duration
 		for _, name := range order {
-			var est [3]noise.Estimate
-			var elapsed [3]time.Duration
-			var allocs [3]float64
-			for mi, mode := range []noise.Sampling{noise.SamplingLegacy, noise.SamplingDense, noise.SamplingSparse} {
+			var est [4]noise.Estimate
+			var elapsed [4]time.Duration
+			var allocs [4]float64
+			for mi, mode := range modes {
 				s, err := noise.NewSimulator(code, protocols[name], model)
 				if err != nil {
 					b.Fatal(err)
@@ -238,15 +263,36 @@ func BenchmarkNoiseMonteCarloReport(b *testing.B) {
 				est[mi] = s.MonteCarlo(trials, 12345)
 				elapsed[mi] = time.Since(t0)
 				allocs[mi] = testing.AllocsPerRun(1, func() { s.MonteCarlo(500, 99) }) / 500
+				total[mi] += elapsed[mi]
 			}
-			parity := est[1] == est[0]
-			if !parity {
-				doc.ParityFailures++
-			}
-			legTotal += elapsed[0]
-			denseTotal += elapsed[1]
-			sparseTotal += elapsed[2]
-			for mi, mode := range []string{"legacy", "dense", "sparse"} {
+			for mi, mode := range modeNames {
+				kind, parity := "byte-vs-legacy", est[1] == est[0]
+				if mi >= 2 {
+					// Statistical samplers draw different fault sets; demand
+					// 3σ agreement with dense on every reported rate.
+					kind = "3sigma-vs-dense"
+					parity = true
+					dense, stat := est[1], est[mi]
+					for _, c := range []struct {
+						what   string
+						sv, dv float64
+					}{
+						{"uncorrectable", stat.UncorrectableRate, dense.UncorrectableRate},
+						{"residual", stat.ResidualRate, dense.ResidualRate},
+						{"reject", stat.RejectRate, dense.RejectRate},
+					} {
+						err := stattest.Compatible(name+" "+mode+" "+c.what,
+							c.sv, stattest.BinomialSE(c.sv, trials),
+							c.dv, stattest.BinomialSE(c.dv, trials), 3)
+						if err != nil {
+							parity = false
+							b.Error(err)
+						}
+					}
+				}
+				if !parity {
+					doc.ParityFailures++
+				}
 				doc.Entries = append(doc.Entries, entry{
 					Protocol:       name,
 					Sampling:       mode,
@@ -255,16 +301,59 @@ func BenchmarkNoiseMonteCarloReport(b *testing.B) {
 					TrialsPerSec:   trials / elapsed[mi].Seconds(),
 					AllocsPerTrial: allocs[mi],
 					SpeedupVsLeg:   elapsed[0].Seconds() / elapsed[mi].Seconds(),
-					Parity:         mi != 2 && parity,
+					ParityKind:     kind,
+					Parity:         parity,
 				})
 			}
 		}
-		doc.DenseSpeedup = legTotal.Seconds() / denseTotal.Seconds()
-		doc.SparseSpeedup = legTotal.Seconds() / sparseTotal.Seconds()
-		doc.SparseOverDense = denseTotal.Seconds() / sparseTotal.Seconds()
+		doc.DenseSpeedup = total[0].Seconds() / total[1].Seconds()
+		doc.SparseSpeedup = total[0].Seconds() / total[2].Seconds()
+		doc.SparseOverDense = total[1].Seconds() / total[2].Seconds()
+		doc.BitSlicedSpeedup = total[0].Seconds() / total[3].Seconds()
+		doc.BitSlicedOverDense = total[1].Seconds() / total[3].Seconds()
+
+		// Sequential sampling (ci mode): at a high physical error rate the
+		// Wilson interval must reach a 1e-2 relative half-width with fewer
+		// trials than the fixed default budget, streaming refining partials.
+		hot := noise.Model{GateError: 0.1, MoveError: 1e-3, MovementOpsPerTwoQubitGate: 6}
+		s, err := noise.NewSimulator(code, protocols["basic"], hot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Sampling = noise.SamplingBitSliced
+		partials := 0
+		target := noise.Target{Epsilon: 1e-2, Confidence: 0.9, MaxTrials: noise.DefaultTrials}
+		ciEst, converged, err := s.MonteCarloTarget(context.Background(), engine.New(0), target, 7,
+			func(noise.Partial) { partials++ })
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc.Sequential = ciRecord{
+			Protocol:          "basic",
+			GateError:         hot.GateError,
+			Epsilon:           target.Epsilon,
+			Confidence:        target.Confidence,
+			TrialsUsed:        ciEst.Trials,
+			FixedDefault:      noise.DefaultTrials,
+			Converged:         converged,
+			Partials:          partials,
+			UncorrectableRate: ciEst.UncorrectableRate,
+		}
+		if !converged || ciEst.Trials >= noise.DefaultTrials {
+			b.Errorf("sequential sampling did not beat the fixed budget: converged=%v trials=%d (fixed %d)",
+				converged, ciEst.Trials, noise.DefaultTrials)
+		}
+		if partials < 3 {
+			b.Errorf("sequential sampling published %d partials, want at least 3", partials)
+		}
+	}
+	if doc.BitSlicedOverDense < 5 {
+		b.Errorf("bit-sliced executor only %.1fx dense at equal budgets, want >= 5x", doc.BitSlicedOverDense)
 	}
 	b.ReportMetric(doc.DenseSpeedup, "dense-speedup")
 	b.ReportMetric(doc.SparseSpeedup, "sparse-speedup")
+	b.ReportMetric(doc.BitSlicedSpeedup, "bitsliced-speedup")
+	b.ReportMetric(doc.BitSlicedOverDense, "bitsliced/dense")
 	b.ReportMetric(float64(doc.ParityFailures), "parity-failures")
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -63,6 +63,9 @@ func run(args []string, out *os.File) error {
 	trials := fs.Int("trials", noise.DefaultTrials, "Monte Carlo trials for fig4")
 	seed := fs.Int64("seed", 1, "Monte Carlo seed for fig4")
 	sparse := fs.Bool("sparse", false, "use the sparse Monte Carlo sampler for fig4 (faster, statistically equivalent; the default dense sampler is byte-reproducible)")
+	bitsliced := fs.Bool("bitsliced", false, "use the bit-sliced Monte Carlo executor for fig4 (64 trials per word op, statistically equivalent; mutually exclusive with -sparse)")
+	ci := fs.Float64("ci", 0, "fig4 sequential sampling: run the bit-sliced executor until the uncorrectable rate's relative confidence-interval half-width reaches this value, capped at -trials (0 = fixed -trials budget; mutually exclusive with -sparse)")
+	conf := fs.Float64("conf", 0, "confidence level for -ci (0 = 0.95)")
 	buckets := fs.Int("buckets", schedule.DefaultDemandBuckets, "time buckets for fig7")
 	maxScale := fs.Int("max-scale", microarch.DefaultMaxScale, "largest resource scale for fig15")
 	benchName := fs.String("benchmark", "QCLA", "benchmark for fig15/fig15buf/buffersweep (QRCA, QCLA, QFT)")
@@ -86,7 +89,8 @@ func run(args []string, out *os.File) error {
 	e := core.NewExperiments()
 	e.Bits = *bits
 	e.Engine = eng
-	p := core.RunParams{Trials: *trials, Seed: *seed, Sparse: *sparse, Buckets: *buckets,
+	p := core.RunParams{Trials: *trials, Seed: *seed, Sparse: *sparse, BitSliced: *bitsliced,
+		CI: *ci, Conf: *conf, Buckets: *buckets,
 		MaxScale: *maxScale, Benchmark: *benchName, Arch: *arch, Buffer: *buffer, Tiles: *tiles}
 	if err := p.Validate(); err != nil {
 		return err

@@ -167,6 +167,10 @@ type PrepErrorResult struct {
 	FirstOrder noise.Estimate
 	MonteCarlo noise.Estimate
 	Ops        steane.Counts
+	// Converged reports whether a sequential-sampling run (Figure4Target)
+	// met its precision target before hitting the trial cap.  Fixed-budget
+	// runs leave it false.
+	Converged bool
 }
 
 // Figure4 evaluates the four encoded-zero preparation circuits under the
@@ -200,10 +204,11 @@ func (e Experiments) Figure4Sampled(trials int, seed int64, sampling noise.Sampl
 		name := name
 		p := protocols[name]
 		key := engine.Fingerprint("core.figure4", name, model, trials, seed)
-		if sampling == noise.SamplingSparse {
+		if sampling != noise.SamplingDense && sampling != noise.SamplingLegacy {
 			// Dense keys stay exactly as they always were (they seed the
-			// chunk RNG streams); sparse gets its own key space.
-			key = engine.Fingerprint("core.figure4", name, model, trials, seed, "sparse")
+			// chunk RNG streams); sparse and bitsliced each get their own
+			// key space, named by the sampling mode.
+			key = engine.Fingerprint("core.figure4", name, model, trials, seed, sampling)
 		}
 		jobs[i] = engine.Job[PrepErrorResult]{
 			Key: key,
@@ -223,6 +228,86 @@ func (e Experiments) Figure4Sampled(trials int, seed int64, sampling noise.Sampl
 					FirstOrder: sim.FirstOrder(),
 					MonteCarlo: mc,
 					Ops:        p.CountOps(),
+				}, nil
+			},
+		}
+	}
+	return engine.Run(ctx, e.Engine, jobs)
+}
+
+// PartialEstimate is one refining estimate of a sequential-sampling Figure 4
+// run, published through the engine's Partial callback (and streamed to SSE
+// subscribers by the HTTP server as "partial" events).
+type PartialEstimate struct {
+	Experiment string `json:"experiment"`
+	Protocol   string `json:"protocol"`
+	// Trials is the cumulative trial count behind this estimate; later
+	// partials of one protocol always carry strictly more trials.
+	Trials            int     `json:"trials"`
+	UncorrectableRate float64 `json:"uncorrectable_rate"`
+	// RelativeHalfWidth is the Wilson relative confidence-interval
+	// half-width at the requested confidence (1.0 until the first
+	// uncorrectable outcome is observed).
+	RelativeHalfWidth float64 `json:"relative_half_width"`
+	// Done marks the protocol's terminal estimate (converged or capped).
+	Done bool `json:"done"`
+}
+
+// Figure4Target is Figure4 with sequential sampling: each preparation
+// variant runs bit-sliced Monte Carlo until the uncorrectable rate's Wilson
+// interval reaches the target relative half-width epsilon at the given
+// confidence (0 = noise.DefaultConfidence), capped at maxTrials.  Refining
+// partial estimates stream through the engine's Partial callback.
+//
+// The per-protocol trial counts are data-dependent, so results are keyed by
+// the full target (epsilon, confidence, cap); the underlying Monte Carlo
+// chunks still share cache entries with fixed-trial bit-sliced runs.
+func (e Experiments) Figure4Target(epsilon, confidence float64, maxTrials int, seed int64) ([]PrepErrorResult, error) {
+	code := steane.NewCode()
+	model := noise.DefaultModel()
+	paperRates := map[string]float64{
+		"basic":              1.8e-3,
+		"verify-only":        3.7e-4,
+		"correct-only":       1.1e-3,
+		"verify-and-correct": 2.9e-5,
+	}
+	order := []string{"basic", "verify-only", "correct-only", "verify-and-correct"}
+	protocols := steane.StandardProtocols(code)
+	ctx := e.ctx()
+	jobs := make([]engine.Job[PrepErrorResult], len(order))
+	for i, name := range order {
+		name := name
+		p := protocols[name]
+		key := engine.Fingerprint("core.figure4", name, model, maxTrials, seed, "ci", epsilon, confidence)
+		jobs[i] = engine.Job[PrepErrorResult]{
+			Key: key,
+			Run: func(ctx context.Context, _ *rand.Rand) (PrepErrorResult, error) {
+				sim, err := noise.NewSimulator(code, p, model)
+				if err != nil {
+					return PrepErrorResult{}, err
+				}
+				sim.Sampling = noise.SamplingBitSliced
+				tgt := noise.Target{Epsilon: epsilon, Confidence: confidence, MaxTrials: maxTrials}
+				mc, converged, err := sim.MonteCarloTarget(ctx, e.Engine, tgt, seed, func(pe noise.Partial) {
+					e.Engine.PublishPartial(key, pe.Seq, PartialEstimate{
+						Experiment:        "fig4",
+						Protocol:          name,
+						Trials:            pe.Estimate.Trials,
+						UncorrectableRate: pe.Estimate.UncorrectableRate,
+						RelativeHalfWidth: pe.Relative,
+						Done:              pe.Done,
+					})
+				})
+				if err != nil {
+					return PrepErrorResult{}, err
+				}
+				return PrepErrorResult{
+					Name:       name,
+					PaperRate:  paperRates[name],
+					FirstOrder: sim.FirstOrder(),
+					MonteCarlo: mc,
+					Ops:        p.CountOps(),
+					Converged:  converged,
 				}, nil
 			},
 		}

@@ -50,6 +50,18 @@ type RunParams struct {
 	// dense sampler is byte-identical across releases for a seed; sparse is
 	// statistically equivalent and much faster at physical error rates.
 	Sparse bool
+	// BitSliced switches the fig4 Monte Carlo to the bit-sliced executor
+	// (64 trials per word operation).  Statistically equivalent to dense
+	// and sparse; mutually exclusive with Sparse.
+	BitSliced bool
+	// CI, when positive, switches fig4 to sequential sampling: run the
+	// bit-sliced executor until the uncorrectable rate's Wilson interval
+	// reaches this relative half-width (or Trials is spent), streaming
+	// refining partial estimates.  Mutually exclusive with Sparse.
+	CI float64
+	// Conf is the confidence level of the CI stopping rule (0 means
+	// noise.DefaultConfidence).  Requires CI.
+	Conf float64
 }
 
 // DefaultBufferAncillae is the standard finite buffer capacity of the
@@ -72,10 +84,48 @@ func DefaultRunParams() RunParams {
 	}
 }
 
+// SamplingConflictError reports a request that selects mutually exclusive
+// fig4 sampling modes.  It lists the allowed combinations so CLI and HTTP
+// users see how to fix the request rather than having one selector silently
+// win.
+type SamplingConflictError struct {
+	// Selected are the conflicting selectors as their flag/query spellings.
+	Selected []string
+}
+
+func (e *SamplingConflictError) Error() string {
+	return fmt.Sprintf("sampling selectors %s are mutually exclusive; allowed: none (dense), sparse alone, bitsliced alone, ci alone or with conf, ci+bitsliced",
+		strings.Join(e.Selected, "+"))
+}
+
 // Validate rejects parameter combinations no experiment can run.
 func (p RunParams) Validate() error {
 	if p.Trials <= 0 {
 		return fmt.Errorf("trials must be positive, got %d", p.Trials)
+	}
+	// Sparse cannot combine with the bit-sliced executor or the CI mode
+	// (which implies bit-sliced); ci+bitsliced is redundant but consistent,
+	// so it stays allowed.
+	if p.Sparse && (p.BitSliced || p.CI > 0) {
+		conflict := []string{"sparse"}
+		if p.BitSliced {
+			conflict = append(conflict, "bitsliced")
+		}
+		if p.CI > 0 {
+			conflict = append(conflict, "ci")
+		}
+		return &SamplingConflictError{Selected: conflict}
+	}
+	if p.CI < 0 || p.CI >= 1 {
+		return fmt.Errorf("ci must be a relative half-width in (0, 1), or 0 for a fixed trial budget; got %v", p.CI)
+	}
+	if p.Conf != 0 {
+		if p.CI == 0 {
+			return fmt.Errorf("conf requires ci (a confidence level needs a half-width target)")
+		}
+		if p.Conf < 0 || p.Conf >= 1 {
+			return fmt.Errorf("conf must be a confidence level in (0, 1), got %v", p.Conf)
+		}
 	}
 	if p.Buckets <= 0 {
 		return fmt.Errorf("buckets must be positive, got %d", p.Buckets)
@@ -163,9 +213,19 @@ var registry = map[string]experiment{
 		render: func(e Experiments, _ RunParams) (report.Section, error) { return renderSimpleFactory(e) },
 	},
 	"fig4": {
-		info: ExperimentInfo{ID: "fig4", Title: "Figure 4: encoded-zero preparation error rates", Aliases: []string{"figure4"}, Params: []string{"trials", "seed", "sparse"}},
+		info: ExperimentInfo{ID: "fig4", Title: "Figure 4: encoded-zero preparation error rates", Aliases: []string{"figure4"}, Params: []string{"trials", "seed", "sparse", "bitsliced", "ci", "conf"}},
 		render: func(e Experiments, p RunParams) (report.Section, error) {
-			return renderFigure4(e, p.Trials, p.Seed, p.Sparse)
+			if p.CI > 0 {
+				return renderFigure4CI(e, p.CI, p.Conf, p.Trials, p.Seed)
+			}
+			sampling := noise.SamplingDense
+			switch {
+			case p.Sparse:
+				sampling = noise.SamplingSparse
+			case p.BitSliced:
+				sampling = noise.SamplingBitSliced
+			}
+			return renderFigure4(e, p.Trials, p.Seed, sampling)
 		},
 	},
 	"fig7": {
@@ -449,11 +509,7 @@ func renderTable9(e Experiments) (report.Section, error) {
 	return report.NewSection("", tb), nil
 }
 
-func renderFigure4(e Experiments, trials int, seed int64, sparse bool) (report.Section, error) {
-	sampling := noise.SamplingDense
-	if sparse {
-		sampling = noise.SamplingSparse
-	}
+func renderFigure4(e Experiments, trials int, seed int64, sampling noise.Sampling) (report.Section, error) {
 	rows, err := e.Figure4Sampled(trials, seed, sampling)
 	if err != nil {
 		return report.Section{}, err
@@ -468,6 +524,30 @@ func renderFigure4(e Experiments, trials int, seed int64, sparse bool) (report.S
 			r.MonteCarlo.ResidualRate, r.MonteCarlo.RejectRate, r.Ops.Total())
 	}
 	return report.NewSection("", tb), nil
+}
+
+func renderFigure4CI(e Experiments, epsilon, confidence float64, maxTrials int, seed int64) (report.Section, error) {
+	rows, err := e.Figure4Target(epsilon, confidence, maxTrials, seed)
+	if err != nil {
+		return report.Section{}, err
+	}
+	conf := confidence
+	if conf == 0 {
+		conf = noise.DefaultConfidence
+	}
+	tb := report.Table{
+		Title: fmt.Sprintf("Figure 4, sequential sampling to %.3g relative half-width at %.2g confidence (bit-sliced, cap %d trials)",
+			epsilon, conf, maxTrials),
+		Headers: []string{"Circuit", "Paper rate", "MC uncorrectable", "MC residual", "Verify reject",
+			"Trials used", "Converged"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.Name, r.PaperRate, r.MonteCarlo.UncorrectableRate, r.MonteCarlo.ResidualRate,
+			r.MonteCarlo.RejectRate, r.MonteCarlo.Trials, r.Converged)
+	}
+	note := report.Text("Unconverged rows spent the full trial cap without meeting the half-width target " +
+		"(rare-event rates need more trials; raise -trials or loosen -ci).\n")
+	return report.NewSection("", tb, note), nil
 }
 
 func renderFigure7(e Experiments, buckets int) (report.Section, error) {

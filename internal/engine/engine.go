@@ -69,6 +69,12 @@ type Engine struct {
 	// enough to cap a long-lived server's memory growth under many distinct
 	// requests, while the one-shot CLI stays unlimited.
 	CacheLimit int
+	// Partial, when set, receives intermediate results of long-running
+	// experiments via PublishPartial (e.g. the refining estimates of a
+	// sequential Monte Carlo run).  Unlike Progress it is not tied to job
+	// batches: an experiment publishes under its own key with its own
+	// monotonically increasing sequence number.  Calls are serialised.
+	Partial func(key string, seq int, value any)
 
 	mu        sync.Mutex
 	cache     map[string]any
@@ -76,6 +82,9 @@ type Engine struct {
 	misses    int
 	coalesced int
 	inflight  map[string]*flight
+	// partialMu serialises PublishPartial calls, separately from mu so
+	// publishing never contends with the job hot path.
+	partialMu sync.Mutex
 	// extras grants slots for helper goroutines beyond the one goroutine
 	// each Run call already runs jobs on.  Lazily sized to Workers-1.
 	extras chan struct{}
@@ -430,4 +439,18 @@ func (e *Engine) progressFn() func(done, total int, key string) {
 		return nil
 	}
 	return e.Progress
+}
+
+// PublishPartial forwards an intermediate experiment result to the Partial
+// callback, if one is installed.  It is safe on a nil engine (no-op) and
+// serialises concurrent publishers.
+func (e *Engine) PublishPartial(key string, seq int, value any) {
+	if e == nil {
+		return
+	}
+	e.partialMu.Lock()
+	defer e.partialMu.Unlock()
+	if e.Partial != nil {
+		e.Partial(key, seq, value)
+	}
 }

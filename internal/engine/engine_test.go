@@ -521,3 +521,31 @@ func TestCacheLimitEvicts(t *testing.T) {
 		t.Errorf("cache grew to %d entries despite limit 4", size)
 	}
 }
+
+func TestPublishPartial(t *testing.T) {
+	type rec struct {
+		key string
+		seq int
+		val any
+	}
+	var got []rec
+	e := New(2)
+	e.Partial = func(key string, seq int, value any) {
+		got = append(got, rec{key, seq, value})
+	}
+	e.PublishPartial("exp", 1, 10)
+	e.PublishPartial("exp", 2, 20)
+	want := []rec{{"exp", 1, 10}, {"exp", 2, 20}}
+	if len(got) != len(want) {
+		t.Fatalf("published %d partials, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("partial %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// No callback installed and nil engines are safe no-ops.
+	New(1).PublishPartial("exp", 1, nil)
+	var nilEngine *Engine
+	nilEngine.PublishPartial("exp", 1, nil)
+}

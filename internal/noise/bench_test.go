@@ -27,6 +27,7 @@ func benchmarkChunk(b *testing.B, mode Sampling) {
 	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
 }
 
-func BenchmarkMonteCarloChunkLegacy(b *testing.B) { benchmarkChunk(b, SamplingLegacy) }
-func BenchmarkMonteCarloChunkDense(b *testing.B)  { benchmarkChunk(b, SamplingDense) }
-func BenchmarkMonteCarloChunkSparse(b *testing.B) { benchmarkChunk(b, SamplingSparse) }
+func BenchmarkMonteCarloChunkLegacy(b *testing.B)    { benchmarkChunk(b, SamplingLegacy) }
+func BenchmarkMonteCarloChunkDense(b *testing.B)     { benchmarkChunk(b, SamplingDense) }
+func BenchmarkMonteCarloChunkSparse(b *testing.B)    { benchmarkChunk(b, SamplingSparse) }
+func BenchmarkMonteCarloChunkBitSliced(b *testing.B) { benchmarkChunk(b, SamplingBitSliced) }

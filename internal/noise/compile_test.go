@@ -2,11 +2,11 @@ package noise
 
 import (
 	"context"
-	"math"
 	"math/rand"
 	"testing"
 
 	"speedofdata/internal/engine"
+	"speedofdata/internal/noise/stattest"
 	"speedofdata/internal/steane"
 )
 
@@ -84,13 +84,11 @@ func TestSparseSamplingMatchesDenseWithinStatistics(t *testing.T) {
 		}{
 			{"uncorrectable", d.UncorrectableRate, s.UncorrectableRate, d.StdErr, s.StdErr},
 			{"reject", d.RejectRate, s.RejectRate,
-				math.Sqrt(d.RejectRate * (1 - d.RejectRate) / float64(trials)),
-				math.Sqrt(s.RejectRate * (1 - s.RejectRate) / float64(trials))},
+				stattest.BinomialSE(d.RejectRate, trials),
+				stattest.BinomialSE(s.RejectRate, trials)},
 		} {
-			sigma := math.Sqrt(c.de*c.de + c.se*c.se)
-			if diff := math.Abs(c.dv - c.sv); diff > 3*sigma+1e-12 {
-				t.Errorf("%s: sparse %s rate %v vs dense %v differs by %v > 3 sigma (%v)",
-					name, c.what, c.sv, c.dv, diff, 3*sigma)
+			if err := stattest.Compatible(name+" "+c.what, c.sv, c.se, c.dv, c.de, 3); err != nil {
+				t.Errorf("sparse vs dense %v", err)
 			}
 		}
 	}
@@ -106,11 +104,9 @@ func TestSparseSamplingConsistentWithFirstOrder(t *testing.T) {
 	s.Sampling = SamplingSparse
 	fo := s.FirstOrder()
 	mc := s.MonteCarlo(400000, 42)
-	diff := math.Abs(mc.UncorrectableRate - fo.UncorrectableRate)
-	tolerance := 4*mc.StdErr + 0.3*fo.UncorrectableRate
-	if diff > tolerance {
-		t.Errorf("sparse Monte Carlo (%v ± %v) and first-order (%v) disagree beyond tolerance %v",
-			mc.UncorrectableRate, mc.StdErr, fo.UncorrectableRate, tolerance)
+	if err := stattest.CompatibleOneSided("basic uncorrectable", mc.UncorrectableRate, mc.StdErr,
+		fo.UncorrectableRate, 4, 0.3); err != nil {
+		t.Errorf("sparse vs first-order %v", err)
 	}
 }
 

@@ -83,6 +83,12 @@ const (
 	// pre-optimisation baseline in BENCH_noise.json).  Identical estimates
 	// to SamplingDense.
 	SamplingLegacy
+	// SamplingBitSliced advances 64 independent trials per uint64 word
+	// operation: qubit error states are lane vectors and fault masks are
+	// Bernoulli words (see bitsliced.go).  Statistically exact like sparse,
+	// but lane order consumes the RNG stream differently from both dense and
+	// sparse, so it owns a third cache-key namespace.  Opt-in.
+	SamplingBitSliced
 )
 
 // String names the sampling mode.
@@ -94,6 +100,8 @@ func (s Sampling) String() string {
 		return "sparse"
 	case SamplingLegacy:
 		return "legacy"
+	case SamplingBitSliced:
+		return "bitsliced"
 	default:
 		return fmt.Sprintf("sampling(%d)", int(s))
 	}
@@ -421,16 +429,22 @@ func (a mcCounts) add(b mcCounts) mcCounts {
 
 // tally records one trial outcome.
 func (c *mcCounts) tally(r TrialResult) {
+	c.tallyN(r, 1)
+}
+
+// tallyN records n identical trial outcomes at once (the bit-sliced
+// executor's bulk path for all-clean words).
+func (c *mcCounts) tallyN(r TrialResult, n int) {
 	if r.Rejected {
-		c.Rejected++
+		c.Rejected += n
 		return
 	}
-	c.Accepted++
+	c.Accepted += n
 	if r.Uncorrectable {
-		c.Uncorrectable++
+		c.Uncorrectable += n
 	}
 	if r.Residual {
-		c.Residual++
+		c.Residual += n
 	}
 }
 
@@ -444,6 +458,9 @@ func (s *Simulator) monteCarloChunk(rng *rand.Rand, trials int) mcCounts {
 	case SamplingSparse:
 		prog, _ := s.compiled()
 		return prog.sparseChunk(rng, trials)
+	case SamplingBitSliced:
+		prog, _ := s.compiled()
+		return prog.bitslicedChunk(rng, trials)
 	default:
 		prog, _ := s.compiled()
 		return prog.denseChunk(rng, trials)
@@ -512,15 +529,8 @@ func (s *Simulator) MonteCarloEngine(ctx context.Context, eng *engine.Engine, tr
 		if i == chunks-1 {
 			n = trials - i*mcChunkTrials
 		}
-		// Dense and legacy sampling share keys (and therefore RNG streams
-		// and cached results): they are the same estimator.  Sparse draws
-		// differently and must never share a chunk result with them.
-		key := engine.NewKey("noise.mc").Str(fp).Keyer(s.Model).Int64(seed).Int(i).Int(n)
-		if s.Sampling == SamplingSparse {
-			key = key.Str("sparse")
-		}
 		jobs[i] = engine.Job[mcCounts]{
-			Key: key.String(),
+			Key: s.chunkKey(fp, seed, i, n),
 			Run: func(_ context.Context, rng *rand.Rand) (mcCounts, error) {
 				return s.monteCarloChunk(rng, n), nil
 			},
@@ -534,13 +544,36 @@ func (s *Simulator) MonteCarloEngine(ctx context.Context, eng *engine.Engine, tr
 	for _, c := range tallies {
 		total = total.add(c)
 	}
+	return estimateFrom(total, trials), nil
+}
+
+// chunkKey is the engine job key of Monte Carlo chunk i (of n trials) under
+// the current sampling mode.  Dense and legacy sampling share keys (and
+// therefore RNG streams and cached results): they are the same estimator.
+// Sparse and bit-sliced each draw random values in their own order and get
+// their own namespace — neither may ever share a chunk result with another
+// mode.  MonteCarloTarget builds the same keys, so a sequential-sampling run
+// and a fixed-trial run of the same seed share cache entries chunk for chunk.
+func (s *Simulator) chunkKey(fp string, seed int64, i, n int) string {
+	key := engine.NewKey("noise.mc").Str(fp).Keyer(s.Model).Int64(seed).Int(i).Int(n)
+	switch s.Sampling {
+	case SamplingSparse:
+		key = key.Str("sparse")
+	case SamplingBitSliced:
+		key = key.Str("bitsliced")
+	}
+	return key.String()
+}
+
+// estimateFrom converts merged chunk tallies into the rate estimate.
+func estimateFrom(total mcCounts, trials int) Estimate {
 	est := Estimate{Trials: trials, RejectRate: float64(total.Rejected) / float64(trials)}
 	if total.Accepted > 0 {
 		est.UncorrectableRate = float64(total.Uncorrectable) / float64(total.Accepted)
 		est.ResidualRate = float64(total.Residual) / float64(total.Accepted)
 		est.StdErr = math.Sqrt(est.UncorrectableRate * (1 - est.UncorrectableRate) / float64(total.Accepted))
 	}
-	return est, nil
+	return est
 }
 
 // FirstOrder computes the leading-order error rates exactly by enumerating

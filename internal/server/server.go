@@ -17,8 +17,15 @@
 //	                           scale (alias max-scale), arch, buffer
 //	                           (ancilla/EPR buffer capacity of the
 //	                           event-driven scenarios; 0 = infinite), tiles
-//	                           (mesh tile bound of the network scenarios)
+//	                           (mesh tile bound of the network scenarios),
+//	                           sparse / bitsliced (fig4 Monte Carlo
+//	                           executor), ci + conf (fig4 sequential
+//	                           sampling to a relative confidence-interval
+//	                           half-width, capped at trials)
 //	/v1/progress               SSE stream of engine job completions
+//	                           ("job" events) and refining partial
+//	                           estimates of sequential-sampling runs
+//	                           ("partial" events)
 //	/v1/cache                  engine cache and coalescing statistics
 //	/v1/healthz                liveness probe
 package server
@@ -50,6 +57,7 @@ func New(exp core.Experiments, defaults core.RunParams) *Server {
 	s := &Server{exp: exp, defaults: defaults, mux: http.NewServeMux(), hub: newProgressHub()}
 	if exp.Engine != nil {
 		exp.Engine.Progress = s.hub.broadcast
+		exp.Engine.Partial = s.hub.broadcastPartial
 	}
 	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
@@ -149,12 +157,29 @@ func (s *Server) queryParams(r *http.Request) (core.Experiments, core.RunParams,
 		}
 		p.Seed = n
 	}
-	if v := q.Get("sparse"); v != "" {
-		b, err := strconv.ParseBool(v)
-		if err != nil {
-			return fail("sparse", err)
+	for name, dst := range map[string]*bool{
+		"sparse":    &p.Sparse,
+		"bitsliced": &p.BitSliced,
+	} {
+		if v := q.Get(name); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return fail(name, err)
+			}
+			*dst = b
 		}
-		p.Sparse = b
+	}
+	for name, dst := range map[string]*float64{
+		"ci":   &p.CI,
+		"conf": &p.Conf,
+	} {
+		if v := q.Get(name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fail(name, err)
+			}
+			*dst = f
+		}
 	}
 	if v := q.Get("benchmark"); v != "" {
 		p.Benchmark = v
@@ -187,6 +212,15 @@ func (s *Server) queryParams(r *http.Request) (core.Experiments, core.RunParams,
 			return exp, p, fmt.Errorf("invalid %s: %d exceeds the server limit %d", lim.name, lim.got, lim.max)
 		}
 	}
+	// Sequential sampling runs until its Wilson interval converges or the
+	// trials cap is spent; a very tight half-width target on a shared server
+	// is an effort bomb (the cap itself is already bounded by maxTrials).
+	if p.CI > 0 && p.CI < minRequestCI {
+		return exp, p, fmt.Errorf("invalid ci: %v is below the server minimum %v", p.CI, minRequestCI)
+	}
+	if p.Conf > maxRequestConfidence {
+		return exp, p, fmt.Errorf("invalid conf: %v exceeds the server maximum %v", p.Conf, maxRequestConfidence)
+	}
 	return exp, p, nil
 }
 
@@ -198,6 +232,11 @@ const (
 	maxRequestScale  = 4096
 	maxRequestBuffer = 1_000_000
 	maxRequestTiles  = 64
+	// minRequestCI and maxRequestConfidence bound the sequential-sampling
+	// precision a client may request (both tighten the stopping rule; the
+	// trial cap still bounds the worst case at maxTrials).
+	minRequestCI         = 0.001
+	maxRequestConfidence = 0.999
 )
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {

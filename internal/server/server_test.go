@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -435,5 +437,275 @@ func TestNetworkScenarioEndpoints(t *testing.T) {
 	status, _, _ = get(t, ts.URL+"/v1/experiments/netcontention?format=json&bits=4&tiles=1")
 	if status != http.StatusOK {
 		t.Errorf("netcontention tiles=1 (degenerate mesh): status %d", status)
+	}
+}
+
+// sseClient subscribes to /v1/progress and forwards every named event.
+type sseRecord struct {
+	name string
+	data string
+}
+
+func subscribeSSE(t *testing.T, url string) chan sseRecord {
+	t.Helper()
+	req, err := http.NewRequest("GET", url+"/v1/progress", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	events := make(chan sseRecord, 256)
+	go func() {
+		scanner := bufio.NewScanner(resp.Body)
+		name := ""
+		for scanner.Scan() {
+			line := scanner.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				events <- sseRecord{name: name, data: strings.TrimPrefix(line, "data: ")}
+			}
+		}
+	}()
+	// Give the subscription a moment to register before work starts.
+	time.Sleep(50 * time.Millisecond)
+	return events
+}
+
+// ciPartial is the decoded "partial" SSE payload of a CI-mode fig4 run.
+type ciPartial struct {
+	Key   string `json:"key"`
+	Seq   int    `json:"seq"`
+	Value struct {
+		Experiment        string  `json:"experiment"`
+		Protocol          string  `json:"protocol"`
+		Trials            int     `json:"trials"`
+		UncorrectableRate float64 `json:"uncorrectable_rate"`
+		RelativeHalfWidth float64 `json:"relative_half_width"`
+		Done              bool    `json:"done"`
+	} `json:"value"`
+}
+
+// TestPartialSSEForCIMode runs a CI-mode fig4 job while subscribed to
+// /v1/progress: each protocol must stream monotonically refining partial
+// estimates as "partial" events, and the terminal event must carry the value
+// the HTTP response reports.
+func TestPartialSSEForCIMode(t *testing.T) {
+	ts, _ := newTestServer(t)
+	events := subscribeSSE(t, ts.URL)
+
+	// At the paper's physical error rates a 0.15 relative half-width needs
+	// far more than a 65536-trial cap, so every protocol streams the full
+	// doubling schedule (4 refining partials) and terminates capped.  The
+	// modest cap keeps the whole burst well inside the subscriber buffer:
+	// terminal partials must arrive, not be dropped as overflow.
+	url := ts.URL + "/v1/experiments/fig4?format=json&ci=0.15&trials=65536&seed=9"
+	bodyCh := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(url)
+		if err != nil {
+			bodyCh <- ""
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		bodyCh <- string(b)
+	}()
+
+	byProtocol := map[string][]ciPartial{}
+	doneCount := 0
+	deadline := time.After(30 * time.Second)
+	for doneCount < 4 {
+		select {
+		case ev := <-events:
+			if ev.name != "partial" {
+				continue
+			}
+			var p ciPartial
+			if err := json.Unmarshal([]byte(ev.data), &p); err != nil {
+				t.Fatalf("bad partial event %q: %v", ev.data, err)
+			}
+			byProtocol[p.Value.Protocol] = append(byProtocol[p.Value.Protocol], p)
+			if p.Value.Done {
+				doneCount++
+			}
+		case <-deadline:
+			t.Fatalf("saw %d terminal partials before deadline (got %v)", doneCount, byProtocol)
+		}
+	}
+
+	if len(byProtocol) != 4 {
+		t.Fatalf("partials for %d protocols, want 4: %v", len(byProtocol), byProtocol)
+	}
+	for proto, ps := range byProtocol {
+		if len(ps) < 3 {
+			t.Errorf("%s: streamed %d partials, want at least 3 refinements", proto, len(ps))
+		}
+		for i, p := range ps {
+			if p.Seq != i+1 {
+				t.Errorf("%s: partial %d has seq %d, want %d (monotonic order)", proto, i, p.Seq, i+1)
+			}
+			if i > 0 && p.Value.Trials <= ps[i-1].Value.Trials {
+				t.Errorf("%s: partial %d trials %d did not refine past %d", proto, i, p.Value.Trials, ps[i-1].Value.Trials)
+			}
+			if wantDone := i == len(ps)-1; p.Value.Done != wantDone {
+				t.Errorf("%s: partial %d done = %v, want %v", proto, i, p.Value.Done, wantDone)
+			}
+		}
+	}
+
+	// The terminal partials carry the values the response body reports.
+	body := <-bodyCh
+	var doc struct {
+		Sections []struct {
+			Blocks []struct {
+				Table *struct {
+					Rows [][]any `json:"rows"`
+				} `json:"table"`
+			} `json:"blocks"`
+		} `json:"sections"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil || len(doc.Sections) != 1 {
+		t.Fatalf("bad fig4 CI response: %v %s", err, body)
+	}
+	rows := doc.Sections[0].Blocks[0].Table.Rows
+	if len(rows) != 4 {
+		t.Fatalf("fig4 CI table has %d rows, want 4", len(rows))
+	}
+	for _, row := range rows {
+		proto := row[0].(string)
+		rate := row[2].(float64)
+		trials := int(row[5].(float64))
+		ps := byProtocol[proto]
+		last := ps[len(ps)-1]
+		if last.Value.UncorrectableRate != rate || last.Value.Trials != trials {
+			t.Errorf("%s: terminal partial (rate %v, trials %d) != response row (rate %v, trials %d)",
+				proto, last.Value.UncorrectableRate, last.Value.Trials, rate, trials)
+		}
+	}
+}
+
+// TestCIModeClientDisconnectCancelsRun drops the experiment request after
+// the first partial estimate: the request must return promptly and the
+// sequential-sampling batches must stop publishing.
+func TestCIModeClientDisconnectCancelsRun(t *testing.T) {
+	exp := core.NewExperiments()
+	exp.Engine = engine.New(2)
+	srv := New(exp, core.DefaultRunParams())
+
+	var mu sync.Mutex
+	count := 0
+	first := make(chan struct{})
+	inner := exp.Engine.Partial
+	exp.Engine.Partial = func(key string, seq int, v any) {
+		mu.Lock()
+		count++
+		if count == 1 {
+			close(first)
+		}
+		mu.Unlock()
+		if inner != nil {
+			inner(key, seq, v)
+		}
+	}
+
+	// The tightest half-width the server accepts with the largest trial cap:
+	// at physical error rates the run cannot converge early, so without the
+	// disconnect it would publish ~11 doubling batches per protocol.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest("GET", "/v1/experiments/fig4?format=json&ci=0.001&trials=10000000&seed=77", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeHTTP(rec, req)
+		close(done)
+	}()
+
+	select {
+	case <-first:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no partial published")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("request did not return after client disconnect")
+	}
+	// Publications must stop once the in-flight batches settle; the full
+	// run would publish ~44 partials across the four protocols.
+	time.Sleep(200 * time.Millisecond)
+	mu.Lock()
+	settled := count
+	mu.Unlock()
+	time.Sleep(500 * time.Millisecond)
+	mu.Lock()
+	final := count
+	mu.Unlock()
+	if final != settled {
+		t.Errorf("partials kept arriving after disconnect: %d -> %d", settled, final)
+	}
+	if final >= 44 {
+		t.Errorf("run published all %d partials; disconnect did not cancel the batches", final)
+	}
+}
+
+// TestSamplingSelectorConflicts checks the typed mutual-exclusion error
+// reaches HTTP clients with the allowed combinations spelled out.
+func TestSamplingSelectorConflicts(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, q := range []string{
+		"sparse=true&bitsliced=true",
+		"sparse=true&ci=0.1",
+		"sparse=true&bitsliced=true&ci=0.1",
+	} {
+		status, body, _ := get(t, ts.URL+"/v1/experiments/fig4?"+q)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", q, status, body)
+		}
+		if !strings.Contains(body, "mutually exclusive") || !strings.Contains(body, "allowed") {
+			t.Errorf("%s: error should list the allowed combinations: %s", q, body)
+		}
+	}
+	// conf without ci is a plain validation error, not a conflict.
+	status, body, _ := get(t, ts.URL+"/v1/experiments/fig4?conf=0.9")
+	if status != http.StatusBadRequest || !strings.Contains(body, "requires ci") {
+		t.Errorf("conf without ci: status %d body %s", status, body)
+	}
+	// CI precision is server-bounded.
+	for _, q := range []string{"ci=0.00001", "ci=0.1&conf=0.99999"} {
+		status, body, _ := get(t, ts.URL+"/v1/experiments/fig4?"+q)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", q, status, body)
+		}
+	}
+}
+
+// TestBitSlicedSamplingParameter mirrors TestSparseSamplingParameter for the
+// bit-sliced executor.
+func TestBitSlicedSamplingParameter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two fig4 Monte Carlos")
+	}
+	ts, _ := newTestServer(t)
+	status, dense, _ := get(t, ts.URL+"/v1/experiments/fig4?format=json&trials=20000&seed=5")
+	if status != http.StatusOK {
+		t.Fatalf("dense fig4: status %d: %s", status, dense)
+	}
+	status, bs, _ := get(t, ts.URL+"/v1/experiments/fig4?format=json&trials=20000&seed=5&bitsliced=true")
+	if status != http.StatusOK {
+		t.Fatalf("bitsliced fig4: status %d: %s", status, bs)
+	}
+	if bs == dense {
+		t.Fatal("bitsliced=true returned the dense result; the parameter is not reaching the sampler")
+	}
+	status, bs2, _ := get(t, ts.URL+"/v1/experiments/fig4?format=json&trials=20000&seed=5&bitsliced=1")
+	if status != http.StatusOK || bs2 != bs {
+		t.Errorf("bitsliced fig4 not deterministic across requests")
 	}
 }

@@ -7,8 +7,15 @@ import (
 	"sync"
 )
 
+// sseEvent is one named server-sent event: "job" for engine job completions,
+// "partial" for refining partial estimates of sequential-sampling runs.
+type sseEvent struct {
+	name string
+	data any
+}
+
 // progressEvent is one engine job completion, streamed to /v1/progress
-// subscribers as a server-sent event.
+// subscribers as a server-sent event of type "job".
 type progressEvent struct {
 	// Done and Total are the finished and total job counts of the batch the
 	// job belonged to.
@@ -18,37 +25,55 @@ type progressEvent struct {
 	Key string `json:"key"`
 }
 
-// progressHub fans engine progress callbacks out to SSE subscribers.  The
-// engine serialises Progress calls, but subscribers come and go from request
-// goroutines, so the subscriber set is mutex-guarded.  Slow subscribers drop
-// events instead of stalling the engine.
+// partialEvent is one refining partial estimate of a long-running
+// experiment, streamed as a server-sent event of type "partial".
+type partialEvent struct {
+	// Key is the publishing experiment job's fingerprint.
+	Key string `json:"key"`
+	// Seq orders the partials of one run; later estimates supersede earlier
+	// ones.
+	Seq int `json:"seq"`
+	// Value is the experiment-specific partial payload (e.g.
+	// core.PartialEstimate).
+	Value any `json:"value"`
+}
+
+// progressHub fans engine progress and partial-result callbacks out to SSE
+// subscribers.  The engine serialises each callback kind, but subscribers
+// come and go from request goroutines, so the subscriber set is
+// mutex-guarded.  Slow subscribers drop events instead of stalling the
+// engine.
 type progressHub struct {
 	mu   sync.Mutex
-	subs map[chan progressEvent]struct{}
+	subs map[chan sseEvent]struct{}
 }
 
 func newProgressHub() *progressHub {
-	return &progressHub{subs: make(map[chan progressEvent]struct{})}
+	return &progressHub{subs: make(map[chan sseEvent]struct{})}
 }
 
-func (h *progressHub) subscribe() chan progressEvent {
-	ch := make(chan progressEvent, 64)
+func (h *progressHub) subscribe() chan sseEvent {
+	// Partial estimates of sequential-sampling runs arrive in bursts (every
+	// protocol of a fig4 batch publishes its doubling schedule within
+	// milliseconds), so the buffer is sized to absorb a whole CI-mode run
+	// before the writer catches up; overflow still drops rather than
+	// stalling the engine.
+	ch := make(chan sseEvent, 1024)
 	h.mu.Lock()
 	h.subs[ch] = struct{}{}
 	h.mu.Unlock()
 	return ch
 }
 
-func (h *progressHub) unsubscribe(ch chan progressEvent) {
+func (h *progressHub) unsubscribe(ch chan sseEvent) {
 	h.mu.Lock()
 	delete(h.subs, ch)
 	h.mu.Unlock()
 }
 
-// broadcast is installed as the engine's Progress callback.  It must never
-// block: it runs inside the engine's progress lock.
-func (h *progressHub) broadcast(done, total int, key string) {
-	ev := progressEvent{Done: done, Total: total, Key: key}
+// send fans one event out to every subscriber.  It must never block: it
+// runs inside the engine's progress (or partial) lock.
+func (h *progressHub) send(ev sseEvent) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for ch := range h.subs {
@@ -59,8 +84,18 @@ func (h *progressHub) broadcast(done, total int, key string) {
 	}
 }
 
-// handleSSE streams engine job completions as server-sent events with event
-// type "job" until the client disconnects.
+// broadcast is installed as the engine's Progress callback.
+func (h *progressHub) broadcast(done, total int, key string) {
+	h.send(sseEvent{name: "job", data: progressEvent{Done: done, Total: total, Key: key}})
+}
+
+// broadcastPartial is installed as the engine's Partial callback.
+func (h *progressHub) broadcastPartial(key string, seq int, value any) {
+	h.send(sseEvent{name: "partial", data: partialEvent{Key: key, Seq: seq, Value: value}})
+}
+
+// handleSSE streams engine job completions (event type "job") and refining
+// partial estimates (event type "partial") until the client disconnects.
 func (h *progressHub) handleSSE(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -81,11 +116,11 @@ func (h *progressHub) handleSSE(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case ev := <-ch:
-			data, err := json.Marshal(ev)
+			data, err := json.Marshal(ev.data)
 			if err != nil {
 				continue
 			}
-			fmt.Fprintf(w, "event: job\ndata: %s\n\n", data)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, data)
 			flusher.Flush()
 		}
 	}
