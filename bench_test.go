@@ -9,6 +9,11 @@ package speedofdata_test
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
 	"os"
 	"testing"
 	"time"
@@ -19,12 +24,14 @@ import (
 	"speedofdata/internal/factory"
 	"speedofdata/internal/fowler"
 	"speedofdata/internal/iontrap"
+	"speedofdata/internal/loadgen"
 	"speedofdata/internal/microarch"
 	"speedofdata/internal/network"
 	"speedofdata/internal/noise"
 	"speedofdata/internal/noise/stattest"
 	"speedofdata/internal/quantum"
 	"speedofdata/internal/schedule"
+	"speedofdata/internal/server"
 	"speedofdata/internal/steane"
 )
 
@@ -807,6 +814,238 @@ func BenchmarkSimComparisonReport(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_sim.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Serving-tier load benches ---
+
+// serveBenchServer starts an in-process HTTP server with the given admission
+// config and returns its base URL and a shutdown function.
+func serveBenchServer(b *testing.B, cfg server.Config) (string, func()) {
+	b.Helper()
+	exp := core.NewExperiments()
+	exp.Bits = benchBits
+	exp.Engine = engine.New(0)
+	exp.Engine.CacheLimit = 1 << 14
+	h := server.NewWithConfig(exp, core.DefaultRunParams(), cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }
+}
+
+// serveBenchHealth reads the admission gauges of /v1/healthz.
+func serveBenchHealth(b *testing.B, base string) (inFlight, queueDepth int) {
+	b.Helper()
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		InFlight   int `json:"in_flight"`
+		QueueDepth int `json:"queue_depth"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		b.Fatal(err)
+	}
+	return st.InFlight, st.QueueDepth
+}
+
+// BenchmarkServeLoadReport drives the HTTP serving tier with the open-loop
+// generator (internal/loadgen) through three mixes and writes
+// BENCH_serve.json, the fourth file of the performance trajectory:
+//
+//   - cache-cold: every request carries a fresh seed, so each one computes
+//     (the fingerprint cache never hits);
+//   - cache-warm: every request repeats one URL, so after the first request
+//     the whole mix is served from the fingerprint cache;
+//   - saturate: deliberate overload of a 1-slot/2-queue server with heavier
+//     requests at a rate it cannot sustain — the bench asserts the server
+//     sheds with 429 + Retry-After, keeps the p99 of admitted requests
+//     bounded by the configured deadlines, and drains back to idle.
+//
+// `go test -bench ServeLoadReport -benchtime 1x` refreshes the file; the CI
+// bench smoke does so on every run.
+func BenchmarkServeLoadReport(b *testing.B) {
+	type row struct {
+		Mix            string  `json:"mix"`
+		OfferedPerSec  float64 `json:"offered_per_sec"`
+		AchievedPerSec float64 `json:"achieved_per_sec"`
+		Sent           int64   `json:"sent"`
+		OK             int64   `json:"ok"`
+		Shed           int64   `json:"shed"`
+		Errors         int64   `json:"errors"`
+		RetryAfterSeen int64   `json:"retry_after_seen"`
+		P50Ms          float64 `json:"p50_ms"`
+		P90Ms          float64 `json:"p90_ms"`
+		P99Ms          float64 `json:"p99_ms"`
+		P999Ms         float64 `json:"p999_ms"`
+		SSESessions    int64   `json:"sse_sessions"`
+		SSEEvents      int64   `json:"sse_events"`
+	}
+	type document struct {
+		Description string `json:"description"`
+		Bits        int    `json:"bits"`
+		Rows        []row  `json:"rows"`
+	}
+	toRow := func(mix string, r loadgen.Result) row {
+		ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+		return row{
+			Mix:            mix,
+			OfferedPerSec:  r.OfferedPerSec,
+			AchievedPerSec: r.AchievedPerSec,
+			Sent:           r.Sent,
+			OK:             r.OK,
+			Shed:           r.Shed,
+			Errors:         r.Errors,
+			RetryAfterSeen: r.RetryAfterSeen,
+			P50Ms:          ms(r.P50),
+			P90Ms:          ms(r.P90),
+			P99Ms:          ms(r.P99),
+			P999Ms:         ms(r.P999),
+			SSESessions:    r.SSESessions,
+			SSEEvents:      r.SSEEvents,
+		}
+	}
+	doc := document{
+		Description: "Open-loop (Poisson) load against the HTTP serving tier: cache-cold (fresh seed per request, every request computes), cache-warm (repeated URL, served from the fingerprint cache), and deliberate saturation of a 1-slot/2-queue server (must shed with 429 + Retry-After while the p99 of admitted requests stays bounded by the configured deadlines).",
+		Bits:        benchBits,
+	}
+	seedParam := func(r *rand.Rand) url.Values {
+		return url.Values{"seed": {fmt.Sprint(r.Intn(1 << 30))}}
+	}
+	for i := 0; i < b.N; i++ {
+		doc.Rows = doc.Rows[:0]
+
+		// Cache-cold and cache-warm run against a generously provisioned
+		// server: the contrast isolates the fingerprint cache's effect.
+		base, stop := serveBenchServer(b, server.Config{})
+		// The fig4 Monte Carlo (5000 trials, ~tens of ms) gives the cold mix
+		// real computation, so the warm mix's cache effect is visible in the
+		// quantiles rather than lost in scheduling noise.
+		fig4Cold := func(r *rand.Rand) url.Values {
+			return url.Values{"seed": {fmt.Sprint(r.Intn(1 << 30))}, "trials": {"5000"}}
+		}
+		fig4Warm := func(*rand.Rand) url.Values {
+			return url.Values{"seed": {"1"}, "trials": {"5000"}}
+		}
+		cold, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  base,
+			Rate:     20,
+			Duration: 2 * time.Second,
+			Seed:     1,
+			Mix: loadgen.Mix{Endpoints: []loadgen.Endpoint{
+				{ID: "fig4", Weight: 1, Params: fig4Cold},
+				{ID: "table5", Weight: 1, Params: seedParam},
+			}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  base,
+			Rate:     50,
+			Duration: 2 * time.Second,
+			Seed:     2,
+			Mix: loadgen.Mix{
+				// Fixed parameters: one URL per endpoint, so everything after
+				// the first request is a fingerprint cache hit.
+				Endpoints: []loadgen.Endpoint{
+					{ID: "fig4", Weight: 1, Params: fig4Warm},
+					{ID: "table5", Weight: 1},
+				},
+				SSE: 0.05,
+			},
+		})
+		stop()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cold.Errors > 0 || warm.Errors > 0 {
+			b.Fatalf("unsaturated mixes saw errors: cold=%+v warm=%+v", cold, warm)
+		}
+		doc.Rows = append(doc.Rows, toRow("cache-cold", cold), toRow("cache-warm", warm))
+
+		// Saturation: a deliberately tiny server (one slot, two queue
+		// entries, 50ms queue wait, 2s run deadline) against heavier fig4
+		// requests at a rate it cannot sustain.
+		satBase, satStop := serveBenchServer(b, server.Config{
+			MaxConcurrent:  1,
+			MaxQueue:       2,
+			QueueTimeout:   50 * time.Millisecond,
+			RequestTimeout: 2 * time.Second,
+		})
+		sat, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  satBase,
+			Rate:     100,
+			Duration: 1500 * time.Millisecond,
+			Seed:     3,
+			Timeout:  5 * time.Second,
+			Mix: loadgen.Mix{Endpoints: []loadgen.Endpoint{
+				{ID: "fig4", Weight: 1, Params: func(r *rand.Rand) url.Values {
+					return url.Values{
+						"seed":   {fmt.Sprint(r.Intn(1 << 30))},
+						"trials": {"20000"},
+					}
+				}},
+			}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The SLO assertions of the acceptance criteria: overload must shed
+		// (429, every one carrying Retry-After), some requests must still be
+		// served, and the p99 of admitted requests is bounded by the
+		// request deadline plus scheduling slack — overload degrades into
+		// refusals, not unbounded latency.
+		if sat.Shed == 0 {
+			b.Error("saturation mix was never shed; the admission gate is not limiting")
+		}
+		if sat.OK == 0 {
+			b.Error("saturation mix had no successes; the server collapsed instead of degrading")
+		}
+		if sat.RetryAfterSeen != sat.Shed {
+			b.Errorf("%d of %d sheds carried Retry-After", sat.RetryAfterSeen, sat.Shed)
+		}
+		if maxP99 := 3 * time.Second; sat.P99 > maxP99 {
+			b.Errorf("saturated p99 %v exceeds %v; admitted-request latency is unbounded", sat.P99, maxP99)
+		}
+		// After the run drains, the gate must be idle again.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			inFlight, queued := serveBenchHealth(b, satBase)
+			if inFlight == 0 && queued == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("gate not idle after drain: in_flight=%d queue_depth=%d", inFlight, queued)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		satStop()
+		doc.Rows = append(doc.Rows, toRow("saturate", sat))
+
+		// The cache must make the warm mix cheap: its p50 should be well
+		// under the cold mix's (computed) p50.
+		if warm.P50 > cold.P50 {
+			b.Logf("note: warm p50 %v not below cold p50 %v (timer-resolution noise at small loads)", warm.P50, cold.P50)
+		}
+	}
+	last := doc.Rows
+	b.ReportMetric(last[0].P99Ms, "cold-p99-ms")
+	b.ReportMetric(last[1].P99Ms, "warm-p99-ms")
+	b.ReportMetric(last[2].P99Ms, "saturated-p99-ms")
+	b.ReportMetric(float64(last[2].Shed), "saturated-shed")
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	qsd <experiment> [flags]
 //	qsd serve [flags]
+//	qsd loadtest [flags]
 //
 // Experiments: table1, table2, table3, table4, table5, table6, table7,
 // table8, table9, fig4, fig7, fig8, fig15, fowler, shor, simple-factory,
@@ -29,20 +30,39 @@
 // `qsd serve` starts the HTTP/JSON API of internal/server on -addr, exposing
 // the same experiments as parameterized /v1/experiments endpoints backed by
 // one shared engine, so repeated and concurrent requests reuse cached and
-// in-flight results.
+// in-flight results.  Admission control is tunable (-max-concurrent,
+// -max-queue, -queue-timeout, -request-timeout, -rate-limit, -rate-burst);
+// SIGINT/SIGTERM trigger a graceful drain bounded by -drain-timeout, after
+// which in-flight batches are cancelled.
+//
+// `qsd loadtest` drives an open-loop Poisson load (internal/loadgen) against
+// -url, or against an in-process server when -url is empty, and prints the
+// measured latency quantiles, shed and error counts.  -lt-rate and
+// -lt-duration set the offered load; -lt-mix picks weighted experiments
+// ("id[?query]:weight,..."); -lt-cache-hit replays earlier requests at that
+// fraction (fingerprint cache hits); -lt-sse opens progress subscriptions at
+// that fraction.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
+	"net"
 	"net/http"
+	"net/url"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"speedofdata/internal/core"
 	"speedofdata/internal/engine"
+	"speedofdata/internal/loadgen"
 	"speedofdata/internal/microarch"
 	"speedofdata/internal/noise"
 	"speedofdata/internal/report"
@@ -76,6 +96,19 @@ func run(args []string, out *os.File) error {
 	parallel := fs.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = sequential)")
 	progress := fs.Bool("progress", true, "print a job progress line on stderr")
 	addr := fs.String("addr", ":8080", "listen address for qsd serve")
+	maxConcurrent := fs.Int("max-concurrent", 0, "serve/loadtest: concurrent experiment requests (0 = 2×GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "serve/loadtest: admission queue depth (0 = default)")
+	queueTimeout := fs.Duration("queue-timeout", 0, "serve/loadtest: longest admission wait before shedding (0 = default)")
+	requestTimeout := fs.Duration("request-timeout", 0, "serve/loadtest: execution deadline of an admitted request (0 = default)")
+	rateLimit := fs.Float64("rate-limit", 0, "serve/loadtest: per-client sustained requests/s (0 = disabled)")
+	rateBurst := fs.Int("rate-burst", 0, "serve/loadtest: per-client burst size (0 = derived from -rate-limit)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "serve: graceful shutdown drain deadline")
+	ltURL := fs.String("url", "", "loadtest: target base URL (empty = in-process server)")
+	ltRate := fs.Float64("lt-rate", 20, "loadtest: offered arrival rate, requests/s")
+	ltDuration := fs.Duration("lt-duration", 5*time.Second, "loadtest: offered load duration")
+	ltMix := fs.String("lt-mix", "table5:2,table1:1", "loadtest: weighted mix, \"id[?query]:weight,...\"")
+	ltCacheHit := fs.Float64("lt-cache-hit", 0, "loadtest: fraction of requests replaying an earlier URL (cache hits)")
+	ltSSE := fs.Float64("lt-sse", 0, "loadtest: fraction of arrivals opening a progress subscription")
 	if len(args) == 0 {
 		usage(fs)
 		return fmt.Errorf("missing experiment id")
@@ -96,20 +129,70 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
+	cfg := server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
+		RequestTimeout: *requestTimeout,
+		RatePerClient:  *rateLimit,
+		BurstPerClient: *rateBurst,
+	}
+
 	if id == "serve" {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
 		// Bound the long-lived server: cap the memoisation cache so distinct
 		// requests can't grow memory forever, and time out header reads so
 		// slow-drip connections can't exhaust the listener.  No WriteTimeout:
 		// /v1/progress streams indefinitely.
 		eng.CacheLimit = 1 << 14
-		srv := &http.Server{
-			Addr:              *addr,
-			Handler:           server.New(e, p),
-			ReadHeaderTimeout: 10 * time.Second,
-			IdleTimeout:       2 * time.Minute,
+		h := server.NewWithConfig(e, p, cfg)
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "qsd: serving on %s\n", *addr)
-		return srv.ListenAndServe()
+		fmt.Fprintf(os.Stderr, "qsd: serving on %s\n", ln.Addr())
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return serveUntilShutdown(ctx, ln, h, *drainTimeout)
+	}
+
+	if id == "loadtest" {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		base := *ltURL
+		if base == "" {
+			// Spin an in-process server on a loopback port: the loadtest then
+			// measures this build end to end with no external dependency.
+			eng.CacheLimit = 1 << 14
+			h := server.NewWithConfig(e, p, cfg)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+			go srv.Serve(ln)
+			defer srv.Close()
+			base = "http://" + ln.Addr().String()
+			fmt.Fprintf(os.Stderr, "qsd: loadtest against in-process server %s\n", base)
+		}
+		mix, err := parseMix(*ltMix, *ltCacheHit, *ltSSE)
+		if err != nil {
+			return err
+		}
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  base,
+			Rate:     *ltRate,
+			Duration: *ltDuration,
+			Seed:     *seed,
+			Mix:      mix,
+		})
+		if err != nil {
+			return err
+		}
+		return writeLoadResult(out, *format, res)
 	}
 
 	f, err := report.ParseFormat(*format)
@@ -136,6 +219,109 @@ func run(args []string, out *os.File) error {
 	return doc.Encode(out, f)
 }
 
+// serveUntilShutdown runs the HTTP server on ln until ctx cancels (signal),
+// then drains: the application layer stops first (SSE streams close, new
+// requests get 503), connections drain within the deadline, and past it the
+// in-flight experiment batches are cancelled and the server force-closed.
+func serveUntilShutdown(ctx context.Context, ln net.Listener, h *server.Server, drain time.Duration) error {
+	baseCtx, cancelInFlight := context.WithCancel(context.Background())
+	defer cancelInFlight()
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(os.Stderr, "qsd: shutting down, draining for up to %v\n", drain)
+	h.Shutdown()
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		cancelInFlight()
+		srv.Close()
+		return fmt.Errorf("drain deadline exceeded, connections force-closed: %v", err)
+	}
+	return nil
+}
+
+// parseMix expands a "-lt-mix" spec into a loadgen mix.  Each comma-separated
+// entry is "id[?query]:weight"; the optional query is fixed on every request
+// to that endpoint, and a fresh random seed parameter is added to non-replay
+// requests so a cache-cold mix defeats the fingerprint cache.
+func parseMix(spec string, cacheHit, sse float64) (loadgen.Mix, error) {
+	mix := loadgen.Mix{CacheHit: cacheHit, SSE: sse}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		i := strings.LastIndexByte(entry, ':')
+		if i <= 0 || i == len(entry)-1 {
+			return mix, fmt.Errorf("bad mix entry %q: want id[?query]:weight", entry)
+		}
+		weight, err := strconv.ParseFloat(entry[i+1:], 64)
+		if err != nil || weight <= 0 {
+			return mix, fmt.Errorf("bad mix weight in %q", entry)
+		}
+		id, fixedQuery := entry[:i], ""
+		if j := strings.IndexByte(id, '?'); j >= 0 {
+			id, fixedQuery = id[:j], id[j+1:]
+		}
+		if _, ok := core.CanonicalExperimentID(id); !ok && id != "all" {
+			return mix, fmt.Errorf("unknown experiment %q in mix", id)
+		}
+		fixed, err := url.ParseQuery(fixedQuery)
+		if err != nil {
+			return mix, fmt.Errorf("bad mix query in %q: %v", entry, err)
+		}
+		mix.Endpoints = append(mix.Endpoints, loadgen.Endpoint{
+			ID:     id,
+			Weight: weight,
+			Params: func(r *rand.Rand) url.Values {
+				v := url.Values{}
+				for k, vals := range fixed {
+					v[k] = vals
+				}
+				v.Set("seed", strconv.Itoa(r.Intn(1<<30)))
+				return v
+			},
+		})
+	}
+	if len(mix.Endpoints) == 0 {
+		return mix, fmt.Errorf("empty mix %q", spec)
+	}
+	return mix, nil
+}
+
+// writeLoadResult renders a loadtest result as JSON or a readable summary.
+func writeLoadResult(out *os.File, format string, res loadgen.Result) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	case "text", "":
+		fmt.Fprintf(out, "offered %.1f/s achieved %.1f/s\n", res.OfferedPerSec, res.AchievedPerSec)
+		fmt.Fprintf(out, "sent %d ok %d shed %d errors %d (retry-after on %d/%d sheds)\n",
+			res.Sent, res.OK, res.Shed, res.Errors, res.RetryAfterSeen, res.Shed)
+		fmt.Fprintf(out, "latency p50 %v p90 %v p99 %v p999 %v max %v\n",
+			res.P50, res.P90, res.P99, res.P999, res.Max)
+		if res.SSESessions > 0 {
+			fmt.Fprintf(out, "sse sessions %d events %d\n", res.SSESessions, res.SSEEvents)
+		}
+		return nil
+	default:
+		return fmt.Errorf("loadtest supports -format text or json, got %q", format)
+	}
+}
+
 // progressLine returns an engine progress callback that keeps one updating
 // status line on w.
 func progressLine(w *os.File) func(done, total int, key string) {
@@ -156,6 +342,7 @@ func clearProgress(w *os.File, enabled bool) {
 func usage(fs *flag.FlagSet) {
 	fmt.Fprintln(os.Stderr, "usage: qsd <experiment> [flags]")
 	fmt.Fprintln(os.Stderr, "       qsd serve [flags]")
+	fmt.Fprintln(os.Stderr, "       qsd loadtest [flags]")
 	fmt.Fprintln(os.Stderr, "experiments: table1..table9, fig4, fig7, fig8, fig15, fowler, shor,")
 	fmt.Fprintln(os.Stderr, "             simple-factory, zero-factory, pi8-factory, qalypso, all,")
 	fmt.Fprintln(os.Stderr, "             fig15buf, buffersweep, contention, factory-sim (event-driven),")

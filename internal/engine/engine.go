@@ -30,6 +30,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Job is one unit of experiment work.
@@ -85,6 +86,11 @@ type Engine struct {
 	// partialMu serialises PublishPartial calls, separately from mu so
 	// publishing never contends with the job hot path.
 	partialMu sync.Mutex
+	// running counts jobs whose Run function is executing right now, across
+	// every concurrent batch.  Cache hits and coalesced followers are not
+	// counted: the gauge reflects computation actually in progress, which is
+	// what the serving tier's health endpoint reports.
+	running atomic.Int64
 	// extras grants slots for helper goroutines beyond the one goroutine
 	// each Run call already runs jobs on.  Lazily sized to Workers-1.
 	extras chan struct{}
@@ -118,6 +124,17 @@ func (e *Engine) CacheStats() (hits, misses int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.hits, e.misses
+}
+
+// InFlight reports how many jobs are executing on the engine at this moment,
+// across every concurrent Run batch.  It is the engine-side load signal of
+// the HTTP serving tier: /v1/healthz exposes it so an external harness can
+// assert the engine has drained after a load burst.
+func (e *Engine) InFlight() int {
+	if e == nil {
+		return 0
+	}
+	return int(e.running.Load())
 }
 
 // Coalesced reports how many jobs were served by waiting on an identical
@@ -341,7 +358,9 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) ([]R, error) {
 				// otherwise followers of this key would block forever.
 				settled := false
 				func() {
+					e.jobStart()
 					defer func() {
+						e.jobEnd()
 						if !settled {
 							e.settleFlight(job.Key, fl, nil,
 								fmt.Errorf("engine: job %q panicked", job.Key))
@@ -355,7 +374,9 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) ([]R, error) {
 					settled = true
 				}()
 			} else {
+				e.jobStart()
 				v, err = job.Run(ctx, rand.New(rand.NewSource(seed)))
+				e.jobEnd()
 				if err == nil {
 					e.cachePut(job.Key, v)
 				}
@@ -425,6 +446,20 @@ func (e *Engine) releaseExtra() {
 	extras := e.extras
 	e.mu.Unlock()
 	<-extras
+}
+
+// jobStart and jobEnd maintain the in-flight job gauge around Run calls;
+// both are safe on a nil engine.
+func (e *Engine) jobStart() {
+	if e != nil {
+		e.running.Add(1)
+	}
+}
+
+func (e *Engine) jobEnd() {
+	if e != nil {
+		e.running.Add(-1)
+	}
 }
 
 func (e *Engine) engineSeed() int64 {

@@ -549,3 +549,202 @@ func TestPublishPartial(t *testing.T) {
 	var nilEngine *Engine
 	nilEngine.PublishPartial("exp", 1, nil)
 }
+
+// TestSingleflightLeaderCancelledReleasesFollowers cancels the leader of an
+// in-flight key mid-job: followers coalesced onto that flight must receive
+// the cancellation error promptly instead of hanging, and the flight must be
+// settled so a later identical job computes fresh.
+func TestSingleflightLeaderCancelledReleasesFollowers(t *testing.T) {
+	eng := New(4)
+	started := make(chan struct{})
+	var reusable atomic.Bool
+	jobs := func(first bool) []Job[int] {
+		return []Job[int]{{
+			Key: "cancel-leader",
+			Run: func(ctx context.Context, _ *rand.Rand) (int, error) {
+				if reusable.Load() {
+					return 7, nil
+				}
+				if first {
+					close(started)
+				}
+				<-ctx.Done()
+				return 0, ctx.Err()
+			},
+		}}
+	}
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := Run(leaderCtx, eng, jobs(true))
+		leaderDone <- err
+	}()
+	<-started
+	// The follower's own context stays live: the error it sees must be the
+	// settled flight's, not its own cancellation.
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), eng, jobs(false))
+		followerDone <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for eng.Coalesced() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("follower never joined the flight")
+		case err := <-followerDone:
+			t.Fatalf("follower finished before the leader was cancelled (err=%v)", err)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("leader error = %v; want context.Canceled", err)
+	}
+	select {
+	case err := <-followerDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("follower error = %v; want the leader's context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower hung after the leader was cancelled")
+	}
+	// The flight must be settled: a fresh identical job computes and succeeds
+	// rather than waiting on a stale entry or being served a cached error.
+	reusable.Store(true)
+	retryDone := make(chan error, 1)
+	var out []int
+	go func() {
+		o, err := Run(context.Background(), eng, jobs(false))
+		out = o
+		retryDone <- err
+	}()
+	select {
+	case err := <-retryDone:
+		if err != nil || out[0] != 7 {
+			t.Errorf("retry after cancellation: out=%v err=%v; want 7, nil", out, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry hung on a stale flight after leader cancellation")
+	}
+}
+
+// TestSingleflightFollowerCancelledLeaderCompletes cancels only the follower:
+// the follower's batch must return its own context error promptly while the
+// leader keeps computing, completes, and populates the cache.
+func TestSingleflightFollowerCancelledLeaderCompletes(t *testing.T) {
+	eng := New(4)
+	var computes atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	jobs := func(first bool) []Job[int] {
+		return []Job[int]{{
+			Key: "cancel-follower",
+			Run: func(context.Context, *rand.Rand) (int, error) {
+				computes.Add(1)
+				if first {
+					close(started)
+					<-release
+				}
+				return 11, nil
+			},
+		}}
+	}
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), eng, jobs(true))
+		leaderDone <- err
+	}()
+	<-started
+	followerCtx, cancelFollower := context.WithCancel(context.Background())
+	defer cancelFollower()
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := Run(followerCtx, eng, jobs(false))
+		followerDone <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for eng.Coalesced() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("follower never joined the flight")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancelFollower()
+	select {
+	case err := <-followerDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("follower error = %v; want its own context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled follower hung while the leader was still running")
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader failed after follower cancellation: %v", err)
+	}
+	// The leader's result is cached: a repeat run is a cache hit, not a
+	// recomputation.
+	hits0, _ := eng.CacheStats()
+	out, err := Run(context.Background(), eng, jobs(false))
+	if err != nil || out[0] != 11 {
+		t.Fatalf("repeat run: out=%v err=%v; want 11, nil", out, err)
+	}
+	if hits1, _ := eng.CacheStats(); hits1 <= hits0 {
+		t.Errorf("repeat run missed the cache: hits %d -> %d", hits0, hits1)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("job body ran %d times; want 1 (leader only)", got)
+	}
+}
+
+// TestInFlightGauge tracks the running-job gauge around a blocked job.
+func TestInFlightGauge(t *testing.T) {
+	eng := New(2)
+	if got := eng.InFlight(); got != 0 {
+		t.Fatalf("idle engine InFlight() = %d; want 0", got)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), eng, []Job[int]{{
+			Key: "inflight-job",
+			Run: func(context.Context, *rand.Rand) (int, error) {
+				close(started)
+				<-release
+				return 1, nil
+			},
+		}})
+		done <- err
+	}()
+	<-started
+	if got := eng.InFlight(); got != 1 {
+		t.Errorf("InFlight() during a running job = %d; want 1", got)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.InFlight(); got != 0 {
+		t.Errorf("InFlight() after drain = %d; want 0", got)
+	}
+	// A cache-served repeat never touches the gauge; nil engines report zero.
+	if _, err := Run(context.Background(), eng, []Job[int]{{
+		Key: "inflight-job",
+		Run: func(context.Context, *rand.Rand) (int, error) { return 1, nil },
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.InFlight(); got != 0 {
+		t.Errorf("InFlight() after cache hit = %d; want 0", got)
+	}
+	var nilEngine *Engine
+	if got := nilEngine.InFlight(); got != 0 {
+		t.Errorf("nil engine InFlight() = %d; want 0", got)
+	}
+}

@@ -27,14 +27,26 @@
 //	                           estimates of sequential-sampling runs
 //	                           ("partial" events)
 //	/v1/cache                  engine cache and coalescing statistics
-//	/v1/healthz                liveness probe
+//	/v1/healthz                liveness probe with admission-control gauges
+//	                           (in-flight, queue depth, shed/admitted/
+//	                           rate-limited totals, engine jobs, SSE
+//	                           subscribers)
+//
+// Experiment runs pass an admission gate (see Config): at most MaxConcurrent
+// execute at once, at most MaxQueue wait, and a saturated server sheds with
+// 429 + Retry-After instead of building unbounded backlog.  An optional
+// per-client token bucket (RatePerClient) throttles abusive clients before
+// they reach the gate.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"speedofdata/internal/core"
 	"speedofdata/internal/report"
@@ -44,17 +56,43 @@ import (
 type Server struct {
 	exp      core.Experiments
 	defaults core.RunParams
+	cfg      Config
 	mux      *http.ServeMux
 	hub      *progressHub
+	gate     *gate
+	limiter  *rateLimiter // nil when rate limiting is disabled
+	draining atomic.Bool
+
+	// runReport executes one experiment request; tests swap it for a stub so
+	// saturation and deadline behavior are exercised without real workloads.
+	runReport func(ctx context.Context, exp core.Experiments, p core.RunParams, ids []string) (report.Document, error)
 }
 
-// New builds a server around the given experiment runner, whose Engine is
-// shared by every request.  defaults supplies the parameter values used when
-// a query string omits them (use core.DefaultRunParams for the paper's
-// settings).  The engine's Progress callback is claimed for the /v1/progress
-// stream.
+// New builds a server with DefaultConfig admission settings.
 func New(exp core.Experiments, defaults core.RunParams) *Server {
-	s := &Server{exp: exp, defaults: defaults, mux: http.NewServeMux(), hub: newProgressHub()}
+	return NewWithConfig(exp, defaults, DefaultConfig())
+}
+
+// NewWithConfig builds a server around the given experiment runner, whose
+// Engine is shared by every request.  defaults supplies the parameter values
+// used when a query string omits them (use core.DefaultRunParams for the
+// paper's settings); cfg tunes admission control (zero fields select
+// defaults).  The engine's Progress callback is claimed for the /v1/progress
+// stream.
+func NewWithConfig(exp core.Experiments, defaults core.RunParams, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		exp:       exp,
+		defaults:  defaults,
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		hub:       newProgressHub(),
+		gate:      newGate(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
+		runReport: core.RunReport,
+	}
+	if cfg.RatePerClient > 0 {
+		s.limiter = newRateLimiter(cfg.RatePerClient, cfg.BurstPerClient)
+	}
 	if exp.Engine != nil {
 		exp.Engine.Progress = s.hub.broadcast
 		exp.Engine.Partial = s.hub.broadcastPartial
@@ -65,6 +103,15 @@ func New(exp core.Experiments, defaults core.RunParams) *Server {
 	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	return s
+}
+
+// Shutdown moves the server into draining: the progress hub closes (every
+// SSE stream ends cleanly, new subscriptions get 503) and new experiment
+// requests are refused with 503 while admitted ones finish.  Call it before
+// http.Server.Shutdown so idle SSE connections do not hold the drain open.
+func (s *Server) Shutdown() {
+	s.draining.Store(true)
+	s.hub.close()
 }
 
 // ServeHTTP implements http.Handler.
@@ -240,6 +287,15 @@ const (
 )
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	// Rate limiting runs before any parsing: a throttled client should pay
+	// nothing beyond the bucket lookup.
+	if s.limiter != nil {
+		if wait, ok := s.limiter.allow(clientKey(r)); !ok {
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+			writeError(w, http.StatusTooManyRequests, "rate limit exceeded for client %s", clientKey(r))
+			return
+		}
+	}
 	id := r.PathValue("id")
 	ids := []string{id}
 	if id == "all" {
@@ -262,10 +318,35 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	doc, err := core.RunReport(r.Context(), exp, p, ids)
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	release, err := s.gate.admit(r.Context())
+	if err != nil {
+		var shed *shedError
+		if errors.As(err, &shed) {
+			w.Header().Set("Retry-After", retryAfterSeconds(shed.retryAfter))
+			writeError(w, http.StatusTooManyRequests, "%v", shed)
+		}
+		// Otherwise the client gave up while queued; there is no one to answer.
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	doc, err := s.runReport(ctx, exp, p, ids)
 	if err != nil {
 		if r.Context().Err() != nil {
 			// The client went away; there is no one to answer.
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// The admitted run outlived its deadline: the server cancelled it
+			// to protect the pool, not because the request was malformed.
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.QueueTimeout))
+			writeError(w, http.StatusServiceUnavailable,
+				"request exceeded the server's %v execution deadline", s.cfg.RequestTimeout)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -291,8 +372,47 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// healthStatus is the /v1/healthz response body: liveness plus the
+// admission-control gauges the load harness asserts steady-state health on.
+type healthStatus struct {
+	// Status is "ok" while serving and "draining" after Shutdown.
+	Status string `json:"status"`
+	// InFlight and QueueDepth are live admission-gate gauges; QueueCapacity
+	// and MaxConcurrent are their configured bounds.
+	InFlight      int `json:"in_flight"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	MaxConcurrent int `json:"max_concurrent"`
+	// Admitted and Shed count experiment requests the gate let through or
+	// refused (429) since startup; RateLimited counts requests the per-client
+	// token bucket refused before the gate.
+	Admitted    int64 `json:"admitted"`
+	Shed        int64 `json:"shed"`
+	RateLimited int64 `json:"rate_limited"`
+	// EngineJobsInFlight is the engine-level gauge of job Run functions
+	// executing now (cache hits and coalesced followers excluded).
+	EngineJobsInFlight int `json:"engine_jobs_in_flight"`
+	// SSESubscribers is the live /v1/progress subscriber count.
+	SSESubscribers int `json:"sse_subscribers"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-	}{Status: "ok"})
+	st := healthStatus{
+		Status:             "ok",
+		InFlight:           s.gate.inFlight(),
+		QueueDepth:         s.gate.queueDepth(),
+		QueueCapacity:      s.cfg.MaxQueue,
+		MaxConcurrent:      s.cfg.MaxConcurrent,
+		Admitted:           s.gate.admitted.Load(),
+		Shed:               s.gate.shed.Load(),
+		EngineJobsInFlight: s.exp.Engine.InFlight(),
+		SSESubscribers:     s.hub.subscribers(),
+	}
+	if s.limiter != nil {
+		st.RateLimited = s.limiter.limitedCount()
+	}
+	if s.draining.Load() {
+		st.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, st)
 }

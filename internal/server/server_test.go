@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -317,21 +318,92 @@ func TestSparseSamplingParameter(t *testing.T) {
 	}
 }
 
-// TestRequestLimits ensures client-controlled effort parameters are bounded.
-func TestRequestLimits(t *testing.T) {
+// TestParamBoundsTable is the single table covering every bounded
+// client-controlled parameter: each is probed one past its limit (rejected
+// with 400 naming the bound) and at its limit (accepted by queryParams — the
+// unit seam, so nothing heavy actually runs).  A closing coverage sweep
+// cross-checks the registry's advertised params and the admission Config
+// knobs against this table, so adding a parameter without a bound — or
+// without an explicit justification for having none — fails here.
+func TestParamBoundsTable(t *testing.T) {
 	ts, _ := newTestServer(t)
-	for _, url := range []string{
-		"/v1/experiments/fig4?trials=2000000000",
-		"/v1/experiments/table2?bits=100000",
-		"/v1/experiments/fig7?buckets=99999999",
-		"/v1/experiments/fig15?scale=1000000",
-	} {
-		status, body, _ := get(t, ts.URL+url)
+	exp := core.NewExperiments()
+	exp.Engine = engine.New(1)
+	srv := New(exp, core.DefaultRunParams())
+	parse := func(query string) error {
+		req := httptest.NewRequest("GET", "/v1/experiments/fig4?"+query, nil)
+		_, _, err := srv.queryParams(req)
+		return err
+	}
+
+	bounded := []struct {
+		param  string
+		over   string // query one past the bound: must be rejected
+		atMax  string // query at the bound: must be accepted
+		errStr string // substring the rejection must carry
+	}{
+		{"bits", fmt.Sprintf("bits=%d", maxBits+1), fmt.Sprintf("bits=%d", maxBits), "server limit"},
+		{"trials", fmt.Sprintf("trials=%d", maxTrials+1), fmt.Sprintf("trials=%d", maxTrials), "server limit"},
+		{"buckets", fmt.Sprintf("buckets=%d", maxBuckets+1), fmt.Sprintf("buckets=%d", maxBuckets), "server limit"},
+		{"scale", fmt.Sprintf("scale=%d", maxRequestScale+1), fmt.Sprintf("scale=%d", maxRequestScale), "server limit"},
+		{"max-scale", fmt.Sprintf("max-scale=%d", maxRequestScale+1), fmt.Sprintf("max-scale=%d", maxRequestScale), "server limit"},
+		{"buffer", fmt.Sprintf("buffer=%d", maxRequestBuffer+1), fmt.Sprintf("buffer=%d", maxRequestBuffer), "server limit"},
+		{"tiles", fmt.Sprintf("tiles=%d", maxRequestTiles+1), fmt.Sprintf("tiles=%d", maxRequestTiles), "server limit"},
+		{"ci", fmt.Sprintf("ci=%v", minRequestCI/2), fmt.Sprintf("ci=%v", minRequestCI), "server minimum"},
+		{"conf", fmt.Sprintf("ci=0.1&conf=%v", (1+maxRequestConfidence)/2), fmt.Sprintf("ci=0.1&conf=%v", maxRequestConfidence), "server maximum"},
+	}
+	for _, tc := range bounded {
+		// Over the bound: a real HTTP 400 naming the limit, before dispatch.
+		status, body, _ := get(t, ts.URL+"/v1/experiments/fig4?"+tc.over)
 		if status != http.StatusBadRequest {
-			t.Errorf("%s: status %d, want 400 (%s)", url, status, body)
+			t.Errorf("%s over bound (%s): status %d, want 400 (%s)", tc.param, tc.over, status, body)
 		}
-		if !strings.Contains(body, "server limit") {
-			t.Errorf("%s: error should name the limit: %s", url, body)
+		if !strings.Contains(body, tc.errStr) {
+			t.Errorf("%s over bound: error should mention %q: %s", tc.param, tc.errStr, body)
+		}
+		// At the bound: queryParams accepts (unit seam — nothing executes).
+		if err := parse(tc.atMax); err != nil {
+			t.Errorf("%s at bound (%s): unexpectedly rejected: %v", tc.param, tc.atMax, err)
+		}
+	}
+
+	// Coverage sweep: every parameter any experiment advertises must either
+	// appear in the bounded table above or be explicitly justified here as
+	// unbounded.  A new registry param that is neither fails this test.
+	probed := map[string]bool{}
+	for _, tc := range bounded {
+		probed[tc.param] = true
+	}
+	unboundedOK := map[string]string{
+		"seed":      "any int64 costs the same effort",
+		"sparse":    "boolean selector",
+		"bitsliced": "boolean selector",
+		"benchmark": "validated against the registry's benchmark set",
+		"arch":      "validated against the registry's architecture set",
+	}
+	for _, info := range core.ExperimentInfos() {
+		for _, param := range info.Params {
+			if !probed[param] && unboundedOK[param] == "" {
+				t.Errorf("experiment %s advertises param %q with neither a bound probe nor an unbounded justification; extend TestParamBoundsTable", info.ID, param)
+			}
+		}
+	}
+
+	// The admission Config knobs get the same treatment: every field must be
+	// covered by TestConfigValidate's rejection sweep (tracked here by name,
+	// so adding a knob without validation fails this sweep).
+	validated := map[string]bool{
+		"MaxConcurrent":  true,
+		"MaxQueue":       true,
+		"QueueTimeout":   true,
+		"RequestTimeout": true,
+		"RatePerClient":  true,
+		"BurstPerClient": true,
+	}
+	rt := reflect.TypeOf(Config{})
+	for i := 0; i < rt.NumField(); i++ {
+		if name := rt.Field(i).Name; !validated[name] {
+			t.Errorf("Config field %q is not covered by the validation sweep; extend TestConfigValidate and this table", name)
 		}
 	}
 }

@@ -44,12 +44,35 @@ type partialEvent struct {
 // mutex-guarded.  Slow subscribers drop events instead of stalling the
 // engine.
 type progressHub struct {
-	mu   sync.Mutex
-	subs map[chan sseEvent]struct{}
+	mu     sync.Mutex
+	subs   map[chan sseEvent]struct{}
+	closed bool
+	// done is closed by close(); every streaming handler selects on it so a
+	// draining server ends its SSE responses cleanly (stream close, not a
+	// connection reset) and http.Server.Shutdown is not held open forever by
+	// idle subscribers.
+	done chan struct{}
 }
 
 func newProgressHub() *progressHub {
-	return &progressHub{subs: make(map[chan sseEvent]struct{})}
+	return &progressHub{subs: make(map[chan sseEvent]struct{}), done: make(chan struct{})}
+}
+
+// close ends every subscriber stream and refuses new ones; it is idempotent.
+func (h *progressHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.closed = true
+		close(h.done)
+	}
+}
+
+// subscribers reports the live subscriber count for /v1/healthz.
+func (h *progressHub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
 }
 
 func (h *progressHub) subscribe() chan sseEvent {
@@ -102,6 +125,13 @@ func (h *progressHub) handleSSE(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	h.mu.Lock()
+	draining := h.closed
+	h.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
@@ -114,6 +144,12 @@ func (h *progressHub) handleSSE(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-h.done:
+			// Server draining: end the stream cleanly so the client sees EOF
+			// after a complete event, not a reset mid-frame.
+			fmt.Fprint(w, ": server shutting down\n\n")
+			flusher.Flush()
 			return
 		case ev := <-ch:
 			data, err := json.Marshal(ev.data)
