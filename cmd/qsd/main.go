@@ -27,6 +27,16 @@
 // selects the encoding: text (default, the historical output), json or csv,
 // both carrying full-precision values.
 //
+// -store DIR attaches a persistent result store (internal/store) behind the
+// engine cache: computed results are written through to an append-only,
+// checksummed log and survive process exit, so a repeated run — or a
+// restarted server — answers with key lookups instead of simulations.  One
+// writer owns a store directory at a time (flock); further processes fall
+// back to read-only sharing (or ask for it with -store-readonly).
+// -store-sync picks the fsync policy and -store-max-bytes bounds the live
+// bytes kept on disk.  The store never changes results: `qsd all` output is
+// byte-identical with and without it, cold or warm.
+//
 // `qsd serve` starts the HTTP/JSON API of internal/server on -addr, exposing
 // the same experiments as parameterized /v1/experiments endpoints backed by
 // one shared engine, so repeated and concurrent requests reuse cached and
@@ -47,6 +57,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -68,6 +79,7 @@ import (
 	"speedofdata/internal/report"
 	"speedofdata/internal/schedule"
 	"speedofdata/internal/server"
+	"speedofdata/internal/store"
 )
 
 func main() {
@@ -103,6 +115,10 @@ func run(args []string, out *os.File) error {
 	rateLimit := fs.Float64("rate-limit", 0, "serve/loadtest: per-client sustained requests/s (0 = disabled)")
 	rateBurst := fs.Int("rate-burst", 0, "serve/loadtest: per-client burst size (0 = derived from -rate-limit)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "serve: graceful shutdown drain deadline")
+	storeDir := fs.String("store", "", "persistent result store directory (empty = memory-only cache); computed results are written through and survive restarts")
+	storeReadonly := fs.Bool("store-readonly", false, "open -store without the writer lock: borrow another process's results, persist nothing")
+	storeSync := fs.String("store-sync", "compact", "store fsync policy: compact, always or never")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "store live-byte bound before oldest-entry eviction (0 = 256 MiB)")
 	ltURL := fs.String("url", "", "loadtest: target base URL (empty = in-process server)")
 	ltRate := fs.Float64("lt-rate", 20, "loadtest: offered arrival rate, requests/s")
 	ltDuration := fs.Duration("lt-duration", 5*time.Second, "loadtest: offered load duration")
@@ -119,6 +135,33 @@ func run(args []string, out *os.File) error {
 	}
 
 	eng := engine.New(*parallel)
+	if *storeDir != "" {
+		syncPol, err := store.ParseSyncPolicy(*storeSync)
+		if err != nil {
+			return err
+		}
+		opts := store.Options{ReadOnly: *storeReadonly, Sync: syncPol, MaxBytes: *storeMaxBytes}
+		st, err := store.Open(*storeDir, opts)
+		var locked *store.LockedError
+		if errors.As(err, &locked) && !*storeReadonly {
+			// Another process owns the directory; borrow its results instead
+			// of failing, as a second replica sharing a store dir would.
+			fmt.Fprintf(os.Stderr, "qsd: %v\n", err)
+			opts.ReadOnly = true
+			st, err = store.Open(*storeDir, opts)
+		}
+		if err != nil {
+			return err
+		}
+		eng.Backend = st
+		defer func() {
+			stats := st.Stats()
+			st.Close()
+			fmt.Fprintf(os.Stderr,
+				"qsd: store %s: %d hits, %d misses, %d puts, %d entries, %d bytes on disk\n",
+				*storeDir, stats.Hits, stats.Misses, stats.Puts, stats.Entries, stats.FileBytes)
+		}()
+	}
 	e := core.NewExperiments()
 	e.Bits = *bits
 	e.Engine = eng

@@ -13,9 +13,12 @@
 //     processes and platforms.
 //   - Order preservation: Run returns results indexed exactly like the input
 //     job slice, so callers keep their presentation order for free.
-//   - Memoisation: results are cached in memory by job key; repeating a job
-//     fingerprint (e.g. the same benchmark characterisation feeding two
-//     figures) returns the cached value without recomputation.
+//   - Memoisation: results are cached by job key — in memory (an LRU tier
+//     bounded by CacheLimit entries) and, when a CacheBackend is attached,
+//     in a second tier that survives the process (internal/store) — so
+//     repeating a job fingerprint (e.g. the same benchmark characterisation
+//     feeding two figures, or a restarted server re-serving a grid) returns
+//     the cached value without recomputation.
 //   - Coalescing: identical jobs that are in flight at the same time (e.g.
 //     two HTTP requests racing on the same sweep) are computed once; the
 //     followers wait for the leader's result instead of duplicating work
@@ -66,10 +69,20 @@ type Engine struct {
 	// key.  Calls are serialised and done counts are monotonic per batch.
 	Progress func(done, total int, key string)
 	// CacheLimit bounds the number of memoised results; 0 means unlimited.
-	// When the cache is full, an arbitrary entry is evicted per insertion —
-	// enough to cap a long-lived server's memory growth under many distinct
-	// requests, while the one-shot CLI stays unlimited.
+	// When the cache is full, the least-recently-used entry is evicted per
+	// insertion, so the memory tier keeps the hottest keys resident (in
+	// front of the Backend tier, when one is attached) while capping a
+	// long-lived server's memory growth; the one-shot CLI stays unlimited.
+	// The memory tier is bounded by entry count; a disk Backend bounds
+	// itself by bytes (see internal/store).
 	CacheLimit int
+	// Backend is an optional second cache tier (typically the disk-backed
+	// internal/store).  On a memory miss the engine consults it before
+	// computing and promotes hits into the memory tier; computed results are
+	// written through.  Evicting a memory entry loses nothing: the entry was
+	// already written through when it was computed.  Set it before the first
+	// Run and leave it in place; a nil Backend keeps the engine memory-only.
+	Backend CacheBackend
 	// Partial, when set, receives intermediate results of long-running
 	// experiments via PublishPartial (e.g. the refining estimates of a
 	// sequential Monte Carlo run).  Unlike Progress it is not tied to job
@@ -77,10 +90,16 @@ type Engine struct {
 	// monotonically increasing sequence number.  Calls are serialised.
 	Partial func(key string, seq int, value any)
 
-	mu        sync.Mutex
-	cache     map[string]any
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+	// lru is the recency ring of cache entries: lru.next is the most
+	// recently used, lru.prev the eviction candidate.  Only New initialises
+	// it (alongside cache); a zero-value Engine has no cache at all.
+	lru       cacheEntry
 	hits      int
 	misses    int
+	storeHits int
+	storeMiss int
 	coalesced int
 	inflight  map[string]*flight
 	// partialMu serialises PublishPartial calls, separately from mu so
@@ -98,7 +117,30 @@ type Engine struct {
 
 // New returns an engine with the given worker bound and an empty cache.
 func New(workers int) *Engine {
-	return &Engine{Workers: workers, cache: make(map[string]any)}
+	e := &Engine{Workers: workers, cache: make(map[string]*cacheEntry)}
+	e.lru.next, e.lru.prev = &e.lru, &e.lru
+	return e
+}
+
+// cacheEntry is one memoised result on the LRU recency ring.
+type cacheEntry struct {
+	key        string
+	val        any
+	prev, next *cacheEntry
+}
+
+// lruUnlink removes ent from the recency ring.
+func (e *Engine) lruUnlink(ent *cacheEntry) {
+	ent.prev.next = ent.next
+	ent.next.prev = ent.prev
+}
+
+// lruFront moves (or inserts) ent to the most-recently-used position.
+func (e *Engine) lruFront(ent *cacheEntry) {
+	ent.prev = &e.lru
+	ent.next = e.lru.next
+	ent.prev.next = ent
+	ent.next.prev = ent
 }
 
 // Sequential returns a single-worker caching engine: the reference executor
@@ -124,6 +166,35 @@ func (e *Engine) CacheStats() (hits, misses int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.hits, e.misses
+}
+
+// TierStats describes both cache tiers' lookup effectiveness.
+type TierStats struct {
+	// MemoryHits and MemoryMisses count memory-tier lookups; MemoryEntries
+	// is the tier's current size (bounded by CacheLimit).
+	MemoryHits, MemoryMisses, MemoryEntries int
+	// StoreHits and StoreMisses count the memory misses that went on to the
+	// Backend tier and found / did not find the key there.  Both stay zero
+	// without a Backend.
+	StoreHits, StoreMisses int
+}
+
+// Tiers reports the two-tier cache counters.  A memory miss that the
+// Backend serves counts as both a MemoryMiss and a StoreHit: the hit-rate of
+// each tier is computed over the lookups that reached it.
+func (e *Engine) Tiers() TierStats {
+	if e == nil {
+		return TierStats{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return TierStats{
+		MemoryHits:    e.hits,
+		MemoryMisses:  e.misses,
+		MemoryEntries: len(e.cache),
+		StoreHits:     e.storeHits,
+		StoreMisses:   e.storeMiss,
+	}
 }
 
 // InFlight reports how many jobs are executing on the engine at this moment,
@@ -192,17 +263,36 @@ func (e *Engine) cacheGet(key string) (any, bool) {
 		return nil, false
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.cache == nil || key == "" {
 		e.misses++
+		e.mu.Unlock()
 		return nil, false
 	}
-	v, ok := e.cache[key]
-	if ok {
+	if ent, ok := e.cache[key]; ok {
 		e.hits++
-	} else {
-		e.misses++
+		e.lruUnlink(ent)
+		e.lruFront(ent)
+		v := ent.val
+		e.mu.Unlock()
+		return v, true
 	}
+	e.misses++
+	backend := e.Backend
+	e.mu.Unlock()
+	if backend == nil {
+		return nil, false
+	}
+	// Memory miss: consult the second tier outside the lock (it may do disk
+	// I/O) and promote a hit into the memory tier so repeats stay cheap.
+	v, ok := backend.Get(key)
+	e.mu.Lock()
+	if ok {
+		e.storeHits++
+		e.memPutLocked(key, v)
+	} else {
+		e.storeMiss++
+	}
+	e.mu.Unlock()
 	return v, ok
 }
 
@@ -211,21 +301,37 @@ func (e *Engine) cachePut(key string, v any) {
 		return
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.cache == nil {
+		e.mu.Unlock()
+		return
+	}
+	e.memPutLocked(key, v)
+	backend := e.Backend
+	e.mu.Unlock()
+	if backend != nil {
+		backend.Put(key, v)
+	}
+}
+
+// memPutLocked inserts or refreshes a memory-tier entry at the front of the
+// recency ring, evicting from the back past CacheLimit.  Callers hold e.mu.
+func (e *Engine) memPutLocked(key string, v any) {
+	if ent, ok := e.cache[key]; ok {
+		ent.val = v
+		e.lruUnlink(ent)
+		e.lruFront(ent)
 		return
 	}
 	if e.CacheLimit > 0 {
-		if _, exists := e.cache[key]; !exists {
-			for len(e.cache) >= e.CacheLimit {
-				for k := range e.cache {
-					delete(e.cache, k)
-					break
-				}
-			}
+		for len(e.cache) >= e.CacheLimit {
+			oldest := e.lru.prev
+			e.lruUnlink(oldest)
+			delete(e.cache, oldest.key)
 		}
 	}
-	e.cache[key] = v
+	ent := &cacheEntry{key: key, val: v}
+	e.cache[key] = ent
+	e.lruFront(ent)
 }
 
 // SeedFor derives the RNG seed of a job from a base seed and the job key via

@@ -1,0 +1,10 @@
+package network
+
+import "speedofdata/internal/engine"
+
+// Network sweep points persist in the engine's disk cache tier; bump a
+// version when the computation behind the corresponding job keys changes
+// meaning.
+func init() {
+	engine.RegisterResultType(SweepPoint{}, 1)
+}

@@ -1,0 +1,12 @@
+package noise
+
+import "speedofdata/internal/engine"
+
+// Monte Carlo chunk counts persist in the engine's disk cache tier so a
+// restarted process resumes a partially computed grid instead of resampling
+// it.  The chunk keys already encode seed, sampler mode, chunk index and
+// noise parameters; bump the version if the sampling semantics behind those
+// keys ever change without a key-namespace change.
+func init() {
+	engine.RegisterResultType(mcCounts{}, 1)
+}

@@ -1,0 +1,12 @@
+package schedule
+
+import "speedofdata/internal/engine"
+
+// Replay and sweep results persist in the engine's disk cache tier; bump a
+// version when the computation behind the corresponding job keys changes
+// meaning.
+func init() {
+	engine.RegisterResultType(Characterization{}, 1)
+	engine.RegisterResultType(SweepPoint{}, 1)
+	engine.RegisterResultType([]DemandPoint{}, 1)
+}

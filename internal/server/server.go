@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 
 	"speedofdata/internal/core"
+	"speedofdata/internal/engine"
 	"speedofdata/internal/report"
 )
 
@@ -356,19 +357,27 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	doc.Encode(w, f)
 }
 
-// cacheStats is the /v1/cache response body.
+// cacheStats is the /v1/cache response body.  hits/misses cover the memory
+// tier; store_hits/store_misses count the memory misses that were resolved
+// (or not) by the persistent store backend, when one is attached.
 type cacheStats struct {
-	Hits      int `json:"hits"`
-	Misses    int `json:"misses"`
-	Coalesced int `json:"coalesced"`
+	Hits        int `json:"hits"`
+	Misses      int `json:"misses"`
+	Coalesced   int `json:"coalesced"`
+	Entries     int `json:"entries"`
+	StoreHits   int `json:"store_hits"`
+	StoreMisses int `json:"store_misses"`
 }
 
 func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
-	hits, misses := s.exp.Engine.CacheStats()
+	tiers := s.exp.Engine.Tiers()
 	writeJSON(w, http.StatusOK, cacheStats{
-		Hits:      hits,
-		Misses:    misses,
-		Coalesced: s.exp.Engine.Coalesced(),
+		Hits:        tiers.MemoryHits,
+		Misses:      tiers.MemoryMisses,
+		Coalesced:   s.exp.Engine.Coalesced(),
+		Entries:     tiers.MemoryEntries,
+		StoreHits:   tiers.StoreHits,
+		StoreMisses: tiers.StoreMisses,
 	})
 }
 
@@ -394,6 +403,40 @@ type healthStatus struct {
 	EngineJobsInFlight int `json:"engine_jobs_in_flight"`
 	// SSESubscribers is the live /v1/progress subscriber count.
 	SSESubscribers int `json:"sse_subscribers"`
+	// CacheMemoryHitRate is hits/(hits+misses) over memory-tier lookups
+	// (0 before any lookup); CacheMemoryEntries the tier's current size.
+	CacheMemoryHitRate float64 `json:"cache_memory_hit_rate"`
+	CacheMemoryEntries int     `json:"cache_memory_entries"`
+	// StoreHitRate is the fraction of memory misses the persistent store
+	// resolved; Store carries the store's own gauges.  Both are present only
+	// when the server was started with a store backend (-store).
+	StoreHitRate float64      `json:"store_hit_rate,omitempty"`
+	Store        *storeHealth `json:"store,omitempty"`
+}
+
+// storeHealth is the persistent result store's corner of /v1/healthz.
+type storeHealth struct {
+	Entries   int   `json:"entries"`
+	LiveBytes int64 `json:"live_bytes"`
+	DeadBytes int64 `json:"dead_bytes"`
+	FileBytes int64 `json:"file_bytes"`
+	Puts      int64 `json:"puts"`
+	Skipped   int64 `json:"skipped"`
+	Evicted   int64 `json:"evicted"`
+	Stale     int64 `json:"stale"`
+	ReadOnly  bool  `json:"read_only"`
+	// Compaction history: total passes, and the bytes reclaimed / live
+	// entries kept by the most recent one.
+	Compactions                  int64 `json:"compactions"`
+	LastCompactionReclaimedBytes int64 `json:"last_compaction_reclaimed_bytes"`
+	LastCompactionLiveEntries    int   `json:"last_compaction_live_entries"`
+}
+
+func rate(hits, misses int) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -410,6 +453,29 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.limiter != nil {
 		st.RateLimited = s.limiter.limitedCount()
+	}
+	tiers := s.exp.Engine.Tiers()
+	st.CacheMemoryHitRate = rate(tiers.MemoryHits, tiers.MemoryMisses)
+	st.CacheMemoryEntries = tiers.MemoryEntries
+	if backend := s.exp.Engine.Backend; backend != nil {
+		st.StoreHitRate = rate(tiers.StoreHits, tiers.StoreMisses)
+		if sb, ok := backend.(engine.StatBackend); ok {
+			bs := sb.Stats()
+			st.Store = &storeHealth{
+				Entries:                      bs.Entries,
+				LiveBytes:                    bs.LiveBytes,
+				DeadBytes:                    bs.DeadBytes,
+				FileBytes:                    bs.FileBytes,
+				Puts:                         bs.Puts,
+				Skipped:                      bs.Skipped,
+				Evicted:                      bs.Evicted,
+				Stale:                        bs.Stale,
+				ReadOnly:                     bs.ReadOnly,
+				Compactions:                  bs.Compactions,
+				LastCompactionReclaimedBytes: bs.LastCompactionReclaimedBytes,
+				LastCompactionLiveEntries:    bs.LastCompactionLiveEntries,
+			}
+		}
 	}
 	if s.draining.Load() {
 		st.Status = "draining"

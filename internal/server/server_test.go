@@ -17,6 +17,7 @@ import (
 
 	"speedofdata/internal/core"
 	"speedofdata/internal/engine"
+	"speedofdata/internal/store"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, core.Experiments) {
@@ -207,18 +208,91 @@ func TestHealthAndCacheEndpoints(t *testing.T) {
 		t.Errorf("healthz: %d %s", status, body)
 	}
 	get(t, ts.URL+"/v1/experiments/table5")
+	get(t, ts.URL+"/v1/experiments/table5") // repeat: a memory-tier hit
 	status, body, _ = get(t, ts.URL+"/v1/cache")
 	if status != http.StatusOK {
 		t.Fatalf("cache: %d", status)
 	}
 	var stats struct {
-		Hits, Misses, Coalesced int
+		Hits, Misses, Coalesced, Entries int
+		StoreHits                        int `json:"store_hits"`
+		StoreMisses                      int `json:"store_misses"`
 	}
 	if err := json.Unmarshal([]byte(body), &stats); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Misses == 0 {
 		t.Errorf("expected recorded misses after a run: %s", body)
+	}
+	if stats.Hits == 0 || stats.Entries == 0 {
+		t.Errorf("expected memory hits and entries after a repeated run: %s", body)
+	}
+	if stats.StoreHits != 0 || stats.StoreMisses != 0 {
+		t.Errorf("store counters nonzero without a backend: %s", body)
+	}
+
+	// healthz reports the memory tier's effectiveness; without a -store
+	// backend the store gauges are absent entirely.
+	st := getHealth(t, ts.URL)
+	if st.CacheMemoryHitRate <= 0 || st.CacheMemoryHitRate > 1 {
+		t.Errorf("cache_memory_hit_rate = %v, want in (0, 1]", st.CacheMemoryHitRate)
+	}
+	if st.CacheMemoryEntries == 0 {
+		t.Error("cache_memory_entries = 0 after a cached run")
+	}
+	if st.Store != nil || st.StoreHitRate != 0 {
+		t.Errorf("store gauges present without a backend: %+v", st)
+	}
+}
+
+// TestHealthzStoreGauges attaches a persistent store backend and checks the
+// healthz store section, including the warm-restart path: a second engine on
+// the same directory answers from the store and reports a store hit-rate.
+func TestHealthzStoreGauges(t *testing.T) {
+	dir := t.TempDir()
+	bk, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := core.NewExperiments()
+	exp.Engine = engine.New(2)
+	exp.Engine.Backend = bk
+	ts := httptest.NewServer(New(exp, core.DefaultRunParams()))
+	if status, body, _ := get(t, ts.URL+"/v1/experiments/table5"); status != http.StatusOK {
+		t.Fatalf("run: %d %s", status, body)
+	}
+	st := getHealth(t, ts.URL)
+	ts.Close()
+	if st.Store == nil {
+		t.Fatal("healthz store section missing with a backend attached")
+	}
+	if st.Store.Puts == 0 || st.Store.Entries == 0 || st.Store.FileBytes == 0 {
+		t.Fatalf("store gauges empty after a run: %+v", st.Store)
+	}
+	if err := bk.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulated restart: fresh engine, fresh store handle, same directory.
+	bk2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bk2.Close()
+	exp2 := core.NewExperiments()
+	exp2.Engine = engine.New(2)
+	exp2.Engine.Backend = bk2
+	ts2 := httptest.NewServer(New(exp2, core.DefaultRunParams()))
+	defer ts2.Close()
+	if status, body, _ := get(t, ts2.URL+"/v1/experiments/table5"); status != http.StatusOK {
+		t.Fatalf("warm run: %d %s", status, body)
+	}
+	st = getHealth(t, ts2.URL)
+	if st.StoreHitRate == 0 {
+		t.Errorf("store_hit_rate = 0 after warm restart; want > 0 (healthz: %+v)", st)
+	}
+	if st.Store == nil || st.Store.Entries == 0 {
+		t.Errorf("store entries missing after warm restart: %+v", st.Store)
 	}
 }
 
