@@ -31,6 +31,7 @@ import (
 	"speedofdata/internal/network"
 	"speedofdata/internal/noise"
 	"speedofdata/internal/noise/stattest"
+	"speedofdata/internal/obs"
 	"speedofdata/internal/quantum"
 	"speedofdata/internal/schedule"
 	"speedofdata/internal/server"
@@ -920,7 +921,7 @@ func BenchmarkServeLoadReport(b *testing.B) {
 		}
 	}
 	doc := document{
-		Description: "Open-loop (Poisson) load against the HTTP serving tier: cache-cold (fresh seed per request, every request computes), cache-warm (repeated URL, served from the fingerprint cache), deliberate saturation of a 1-slot/2-queue server (must shed with 429 + Retry-After while the p99 of admitted requests stays bounded by the configured deadlines), and warm-restart (a store-backed server torn down and rebuilt against the same -store directory; the first request after each restart must be a persistent-store hit within 5x of the in-memory warm p50 and at least 20x faster than recomputation).",
+		Description: "Open-loop (Poisson) load against the HTTP serving tier: cache-cold (fresh seed per request, every request computes), cache-warm (repeated URL, served from the fingerprint cache), deliberate saturation of a 1-slot/2-queue server (must shed with 429 + Retry-After while the p99 of admitted requests stays bounded by the configured deadlines), warm-restart (a store-backed server torn down and rebuilt against the same -store directory; the first request after each restart must be a persistent-store hit within 5x of the in-memory warm p50 and at least 20x faster than recomputation), and instrumentation-overhead (the cache-warm mix with the observability layer — metrics registry + request tracing — enabled; its warm p50 must stay within 5% of the uninstrumented warm p50, plus a 1ms timer-noise allowance).",
 		Bits:        benchBits,
 	}
 	seedParam := func(r *rand.Rand) url.Values {
@@ -1134,6 +1135,41 @@ func BenchmarkServeLoadReport(b *testing.B) {
 			P90Ms: ms(maxLat),
 			P99Ms: ms(maxLat),
 		})
+
+		// Instrumentation overhead: the identical cache-warm mix against a
+		// server carrying the full observability layer (metrics registry +
+		// request tracing; the access log stays off, as it costs I/O rather
+		// than instrumentation).  A cache-warm request is almost pure
+		// per-request overhead — route match, cache lookup, JSON encode — so
+		// its p50 is the most sensitive place for instrumentation cost to
+		// show.  Budget: 5% of the uninstrumented warm p50, plus 1ms for
+		// timer and scheduling noise at these sub-millisecond latencies.
+		obsBase, obsStop := serveBenchServer(b, server.Config{Obs: obs.New()})
+		instr, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  obsBase,
+			Rate:     50,
+			Duration: 2 * time.Second,
+			Seed:     2,
+			Mix: loadgen.Mix{
+				Endpoints: []loadgen.Endpoint{
+					{ID: "fig4", Weight: 1, Params: fig4Warm},
+					{ID: "table5", Weight: 1},
+				},
+				SSE: 0.05,
+			},
+		})
+		obsStop()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if instr.Errors > 0 {
+			b.Fatalf("instrumented warm mix saw errors: %+v", instr)
+		}
+		if budget := warm.P50/20 + time.Millisecond; instr.P50 > warm.P50+budget {
+			b.Errorf("instrumented warm p50 %v exceeds uninstrumented %v by more than 5%%+1ms",
+				instr.P50, warm.P50)
+		}
+		doc.Rows = append(doc.Rows, toRow("instrumentation-overhead", instr))
 	}
 	last := doc.Rows
 	b.ReportMetric(last[0].P99Ms, "cold-p99-ms")
@@ -1141,6 +1177,7 @@ func BenchmarkServeLoadReport(b *testing.B) {
 	b.ReportMetric(last[2].P99Ms, "saturated-p99-ms")
 	b.ReportMetric(float64(last[2].Shed), "saturated-shed")
 	b.ReportMetric(last[3].P50Ms, "warm-restart-p50-ms")
+	b.ReportMetric(last[4].P50Ms, "instrumented-warm-p50-ms")
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		b.Fatal(err)

@@ -45,6 +45,16 @@
 // SIGINT/SIGTERM trigger a graceful drain bounded by -drain-timeout, after
 // which in-flight batches are cancelled.
 //
+// The server carries the observability layer of internal/obs: GET /metrics
+// serves a Prometheus text scrape and GET /v1/metrics a JSON snapshot of the
+// same registry (engine jobs and cache tiers, store bytes, per-route request
+// latencies, admission counters, sim kernel events, Go runtime gauges);
+// experiment requests are traced (X-Trace-Id response header, span tree at
+// GET /v1/trace/{id}, trace_id on progress SSE events) and logged as JSON
+// lines on stderr (-access-log, -log-level), with spans slower than
+// -slow-span flagged.  -debug-addr opens a side listener with /debug/pprof/
+// and the metrics endpoints, kept off the public address.
+//
 // `qsd loadtest` drives an open-loop Poisson load (internal/loadgen) against
 // -url, or against an in-process server when -url is empty, and prints the
 // measured latency quantiles, shed and error counts.  -lt-rate and
@@ -60,6 +70,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -76,6 +87,7 @@ import (
 	"speedofdata/internal/loadgen"
 	"speedofdata/internal/microarch"
 	"speedofdata/internal/noise"
+	"speedofdata/internal/obs"
 	"speedofdata/internal/report"
 	"speedofdata/internal/schedule"
 	"speedofdata/internal/server"
@@ -115,6 +127,10 @@ func run(args []string, out *os.File) error {
 	rateLimit := fs.Float64("rate-limit", 0, "serve/loadtest: per-client sustained requests/s (0 = disabled)")
 	rateBurst := fs.Int("rate-burst", 0, "serve/loadtest: per-client burst size (0 = derived from -rate-limit)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "serve: graceful shutdown drain deadline")
+	debugAddr := fs.String("debug-addr", "", "serve: side listener exposing /debug/pprof/ and the metrics endpoints, kept off the public address (empty = disabled)")
+	accessLog := fs.Bool("access-log", true, "serve: emit one structured JSON log line per request on stderr")
+	logLevel := fs.String("log-level", "info", "serve: minimum log level (debug, info, warn, error)")
+	slowSpan := fs.Duration("slow-span", time.Second, "serve: log traced request spans slower than this (0 = disabled)")
 	storeDir := fs.String("store", "", "persistent result store directory (empty = memory-only cache); computed results are written through and survive restarts")
 	storeReadonly := fs.Bool("store-readonly", false, "open -store without the writer lock: borrow another process's results, persist nothing")
 	storeSync := fs.String("store-sync", "compact", "store fsync policy: compact, always or never")
@@ -185,6 +201,17 @@ func run(args []string, out *os.File) error {
 		if err := cfg.Validate(); err != nil {
 			return err
 		}
+		var level slog.Level
+		if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+			return fmt.Errorf("bad -log-level %q: want debug, info, warn or error", *logLevel)
+		}
+		o := obs.New()
+		o.Log = slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+		if *slowSpan > 0 {
+			o.Tracer.SetSlowSpan(*slowSpan, o.Log)
+		}
+		cfg.Obs = o
+		cfg.AccessLog = *accessLog
 		// Bound the long-lived server: cap the memoisation cache so distinct
 		// requests can't grow memory forever, and time out header reads so
 		// slow-drip connections can't exhaust the listener.  No WriteTimeout:
@@ -194,6 +221,16 @@ func run(args []string, out *os.File) error {
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {
 			return err
+		}
+		if *debugAddr != "" {
+			dln, err := net.Listen("tcp", *debugAddr)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "qsd: debug endpoints (pprof, metrics) on %s\n", dln.Addr())
+			dbg := &http.Server{Handler: o.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+			go dbg.Serve(dln)
+			defer dbg.Close()
 		}
 		fmt.Fprintf(os.Stderr, "qsd: serving on %s\n", ln.Addr())
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -366,9 +403,10 @@ func writeLoadResult(out *os.File, format string, res loadgen.Result) error {
 }
 
 // progressLine returns an engine progress callback that keeps one updating
-// status line on w.
-func progressLine(w *os.File) func(done, total int, key string) {
-	return func(done, total int, key string) {
+// status line on w.  Batch runs carry no trace, so the trace ID is unused
+// here; the server's SSE hub is the consumer that forwards it.
+func progressLine(w *os.File) func(done, total int, key, traceID string) {
+	return func(done, total int, key, traceID string) {
 		if i := strings.IndexByte(key, '|'); i > 0 {
 			key = key[:i]
 		}

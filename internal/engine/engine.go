@@ -32,8 +32,12 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"speedofdata/internal/obs"
 )
 
 // Job is one unit of experiment work.
@@ -65,9 +69,11 @@ type Engine struct {
 	// identical results regardless of worker count.
 	Seed int64
 	// Progress, when set, is called after each job completes with the number
-	// of finished jobs in the current batch, the batch size, and the job's
-	// key.  Calls are serialised and done counts are monotonic per batch.
-	Progress func(done, total int, key string)
+	// of finished jobs in the current batch, the batch size, the job's key,
+	// and the trace ID of the request the batch runs under ("" when the batch
+	// context carries no trace).  Calls are serialised and done counts are
+	// monotonic per batch.
+	Progress func(done, total int, key, traceID string)
 	// CacheLimit bounds the number of memoised results; 0 means unlimited.
 	// When the cache is full, the least-recently-used entry is evicted per
 	// insertion, so the memory tier keeps the hottest keys resident (in
@@ -113,6 +119,12 @@ type Engine struct {
 	// extras grants slots for helper goroutines beyond the one goroutine
 	// each Run call already runs jobs on.  Lazily sized to Workers-1.
 	extras chan struct{}
+
+	// obsReg and jobsRun are set by Instrument; jobHists caches the per-kind
+	// latency histogram so the job path doesn't rebuild a label set per job.
+	obsReg   *obs.Registry
+	jobsRun  *obs.Counter
+	jobHists sync.Map // kind string -> *obs.Histogram
 }
 
 // New returns an engine with the given worker bound and an empty cache.
@@ -219,6 +231,77 @@ func (e *Engine) Coalesced() int {
 	return e.coalesced
 }
 
+// Instrument registers the engine's metrics with reg.  Cache, coalescing
+// and in-flight series are func-backed readers of the engine's own counters
+// — the engine stays the single source of truth, so /metrics can never
+// disagree with Tiers() or /v1/healthz — while the computed-jobs counter
+// and per-kind latency histograms are owned here because no existing
+// counter covers them.  Call once, before serving.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	e.obsReg = reg
+	e.jobsRun = reg.Counter("qsd_engine_jobs_total",
+		"Jobs computed by the engine (cache hits and coalesced followers excluded).", nil)
+	reg.CounterFunc("qsd_engine_cache_hits_total",
+		"Memory-tier cache hits.", nil,
+		func() float64 { return float64(e.Tiers().MemoryHits) })
+	reg.CounterFunc("qsd_engine_cache_misses_total",
+		"Memory-tier cache misses.", nil,
+		func() float64 { return float64(e.Tiers().MemoryMisses) })
+	reg.CounterFunc("qsd_engine_store_hits_total",
+		"Memory misses served by the store tier.", nil,
+		func() float64 { return float64(e.Tiers().StoreHits) })
+	reg.CounterFunc("qsd_engine_store_misses_total",
+		"Memory misses the store tier could not serve.", nil,
+		func() float64 { return float64(e.Tiers().StoreMisses) })
+	reg.CounterFunc("qsd_engine_coalesced_total",
+		"Jobs served by waiting on an identical in-flight computation.", nil,
+		func() float64 { return float64(e.Coalesced()) })
+	reg.GaugeFunc("qsd_engine_jobs_in_flight",
+		"Jobs whose Run function is executing right now.", nil,
+		func() float64 { return float64(e.InFlight()) })
+	reg.GaugeFunc("qsd_engine_cache_memory_entries",
+		"Entries resident in the memory cache tier.", nil,
+		func() float64 { return float64(e.Tiers().MemoryEntries) })
+}
+
+// jobHist returns the latency histogram for a job kind, or nil when the
+// engine is uninstrumented.
+func (e *Engine) jobHist(kind string) *obs.Histogram {
+	if e == nil || e.obsReg == nil {
+		return nil
+	}
+	if h, ok := e.jobHists.Load(kind); ok {
+		return h.(*obs.Histogram)
+	}
+	h := e.obsReg.Histogram("qsd_engine_job_seconds",
+		"Compute latency of engine jobs by kind.", obs.Labels{"kind": kind})
+	e.jobHists.Store(kind, h)
+	return h
+}
+
+// kindOf maps a job key to its metric/span label: the experiment id for
+// top-level "qsd|<id>|..." keys, the stage name (first segment) for nested
+// keys like "circuits.generate|QCLA|32", "anon" for uncacheable jobs.  The
+// label space is bounded by the experiment registry and stage names, as the
+// registry requires.
+func kindOf(key string) string {
+	if key == "" {
+		return "anon"
+	}
+	first, rest, ok := strings.Cut(key, "|")
+	if !ok {
+		return first
+	}
+	if first == "qsd" {
+		second, _, _ := strings.Cut(rest, "|")
+		return second
+	}
+	return first
+}
+
 // flight is one in-progress computation of a job key.  Followers wait on
 // done and then read val/err; the leader settles and closes it.
 type flight struct {
@@ -259,14 +342,21 @@ func (e *Engine) settleFlight(key string, f *flight, val any, err error) {
 }
 
 func (e *Engine) cacheGet(key string) (any, bool) {
+	v, _, ok := e.cacheGetTier(key)
+	return v, ok
+}
+
+// cacheGetTier is cacheGet reporting which tier served the hit
+// ("cache-memory" or "cache-store" — the span outcome vocabulary).
+func (e *Engine) cacheGetTier(key string) (any, string, bool) {
 	if e == nil {
-		return nil, false
+		return nil, "", false
 	}
 	e.mu.Lock()
 	if e.cache == nil || key == "" {
 		e.misses++
 		e.mu.Unlock()
-		return nil, false
+		return nil, "", false
 	}
 	if ent, ok := e.cache[key]; ok {
 		e.hits++
@@ -274,13 +364,13 @@ func (e *Engine) cacheGet(key string) (any, bool) {
 		e.lruFront(ent)
 		v := ent.val
 		e.mu.Unlock()
-		return v, true
+		return v, "cache-memory", true
 	}
 	e.misses++
 	backend := e.Backend
 	e.mu.Unlock()
 	if backend == nil {
-		return nil, false
+		return nil, "", false
 	}
 	// Memory miss: consult the second tier outside the lock (it may do disk
 	// I/O) and promote a hit into the memory tier so repeats stay cheap.
@@ -293,7 +383,7 @@ func (e *Engine) cacheGet(key string) (any, bool) {
 		e.storeMiss++
 	}
 	e.mu.Unlock()
-	return v, ok
+	return v, "cache-store", ok
 }
 
 func (e *Engine) cachePut(key string, v any) {
@@ -408,11 +498,17 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) ([]R, error) {
 		next++
 		return i, true
 	}
+	// Tracing costs one context lookup per batch when off.  When the batch
+	// context carries a span (the HTTP middleware put one there, or an outer
+	// job's ctx did — core experiments re-expose the job ctx to nested
+	// batches), each job gets a child span recording its cache-tier outcome.
+	parentSpan := obs.SpanFromContext(ctx)
+	traceID := parentSpan.TraceID()
 	finish := func(key string) {
 		stateMu.Lock()
 		done++
 		if progress := e.progressFn(); progress != nil {
-			progress(done, len(jobs), key)
+			progress(done, len(jobs), key, traceID)
 		}
 		stateMu.Unlock()
 	}
@@ -423,9 +519,12 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) ([]R, error) {
 				return
 			}
 			job := jobs[i]
-			if v, ok := e.cacheGet(job.Key); ok {
+			kind := kindOf(job.Key)
+			span := parentSpan.Child(kind)
+			if v, tier, ok := e.cacheGetTier(job.Key); ok {
 				if r, isR := v.(R); isR {
 					out[i] = r
+					span.EndWith(tier)
 					finish(job.Key)
 					continue
 				}
@@ -441,11 +540,13 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) ([]R, error) {
 				case <-fl.done:
 				}
 				if fl.err != nil {
+					span.Fail(fl.err)
 					fail(fl.err)
 					return
 				}
 				if r, isR := fl.val.(R); isR {
 					out[i] = r
+					span.EndWith("coalesced")
 					finish(job.Key)
 					continue
 				}
@@ -456,6 +557,12 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) ([]R, error) {
 			if job.Key == "" {
 				seed = SeedFor(e.engineSeed(), fmt.Sprintf("#%d", i))
 			}
+			jobCtx := ctx
+			if span != nil {
+				// Nested batches scheduled by this job parent under its span.
+				jobCtx = obs.ContextWithSpan(ctx, span)
+			}
+			start := time.Now()
 			var v R
 			var err error
 			if fl != nil && leader {
@@ -472,7 +579,7 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) ([]R, error) {
 								fmt.Errorf("engine: job %q panicked", job.Key))
 						}
 					}()
-					v, err = job.Run(ctx, rand.New(rand.NewSource(seed)))
+					v, err = job.Run(jobCtx, rand.New(rand.NewSource(seed)))
 					if err == nil {
 						e.cachePut(job.Key, v)
 					}
@@ -481,16 +588,24 @@ func Run[R any](ctx context.Context, e *Engine, jobs []Job[R]) ([]R, error) {
 				}()
 			} else {
 				e.jobStart()
-				v, err = job.Run(ctx, rand.New(rand.NewSource(seed)))
+				v, err = job.Run(jobCtx, rand.New(rand.NewSource(seed)))
 				e.jobEnd()
 				if err == nil {
 					e.cachePut(job.Key, v)
 				}
 			}
+			if e != nil {
+				e.jobsRun.Inc()
+				if h := e.jobHist(kind); h != nil {
+					h.Record(time.Since(start))
+				}
+			}
 			if err != nil {
+				span.Fail(err)
 				fail(err)
 				return
 			}
+			span.EndWith("computed")
 			out[i] = v
 			finish(job.Key)
 		}
@@ -575,7 +690,7 @@ func (e *Engine) engineSeed() int64 {
 	return e.Seed
 }
 
-func (e *Engine) progressFn() func(done, total int, key string) {
+func (e *Engine) progressFn() func(done, total int, key, traceID string) {
 	if e == nil {
 		return nil
 	}

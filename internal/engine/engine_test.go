@@ -206,7 +206,7 @@ func TestProgressReporting(t *testing.T) {
 	var calls atomic.Int32
 	var lastDone atomic.Int32
 	e := New(3)
-	e.Progress = func(done, total int, key string) {
+	e.Progress = func(done, total int, key, traceID string) {
 		calls.Add(1)
 		lastDone.Store(int32(done))
 		if total != 10 {
@@ -214,6 +214,9 @@ func TestProgressReporting(t *testing.T) {
 		}
 		if key == "" {
 			t.Error("progress key must not be empty")
+		}
+		if traceID != "" {
+			t.Errorf("untraced batch reported trace ID %q", traceID)
 		}
 	}
 	jobs := make([]Job[int], 10)

@@ -1,101 +1,8 @@
 package loadgen
 
-import (
-	"math/bits"
-	"sync/atomic"
-	"time"
-)
+import "speedofdata/internal/obs"
 
-// Hist is an HDR-style latency histogram: log-bucketed power-of-two ranges
-// subdivided into 32 linear sub-buckets, giving quantiles with bounded
-// relative error (about 3%) across nanoseconds-to-minutes without storing
-// samples.  Recording is a single atomic add, so the open-loop generator's
-// response goroutines share one Hist without contention.
-type Hist struct {
-	counts [histBuckets]atomic.Int64
-	total  atomic.Int64
-}
-
-const (
-	// histSubBits sub-buckets per power-of-two range: 2^5 = 32 linear
-	// subdivisions bound the relative quantile error at 1/32.
-	histSubBits = 5
-	histSub     = 1 << histSubBits
-	// 64 possible exponents of a microsecond value, histSub sub-buckets
-	// each, plus the direct range below histSub.
-	histBuckets = histSub + 64*histSub
-)
-
-// bucketOf maps a latency (in microseconds) to its bucket index.
-func bucketOf(us int64) int {
-	if us < 0 {
-		us = 0
-	}
-	v := uint64(us)
-	if v < histSub {
-		return int(v)
-	}
-	// e is the position of the highest bit beyond the direct range; the top
-	// histSubBits+1 bits of v select the linear sub-bucket within range e.
-	e := bits.Len64(v) - histSubBits - 1
-	return histSub + e*histSub + int(v>>uint(e)) - histSub
-}
-
-// bucketMid returns the midpoint latency (in microseconds) represented by a
-// bucket, the value quantile lookups report.
-func bucketMid(b int) int64 {
-	if b < histSub {
-		return int64(b)
-	}
-	b -= histSub
-	e := b / histSub
-	sub := int64(b%histSub) + histSub
-	lo := sub << uint(e)
-	hi := (sub + 1) << uint(e)
-	return (lo + hi) / 2
-}
-
-// Record adds one latency observation.
-func (h *Hist) Record(d time.Duration) {
-	h.counts[bucketOf(d.Microseconds())].Add(1)
-	h.total.Add(1)
-}
-
-// Count reports the number of recorded observations.
-func (h *Hist) Count() int64 { return h.total.Load() }
-
-// Quantile returns the latency at quantile q in [0, 1] (0.5 = median).  It
-// reports 0 when nothing was recorded.
-func (h *Hist) Quantile(q float64) time.Duration {
-	total := h.total.Load()
-	if total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	// Rank of the target observation, 1-based; cumulative scan finds its
-	// bucket and reports the bucket midpoint.
-	rank := int64(q*float64(total-1)) + 1
-	var seen int64
-	for b := range h.counts {
-		seen += h.counts[b].Load()
-		if seen >= rank {
-			return time.Duration(bucketMid(b)) * time.Microsecond
-		}
-	}
-	return time.Duration(bucketMid(histBuckets-1)) * time.Microsecond
-}
-
-// Max returns the midpoint of the highest occupied bucket.
-func (h *Hist) Max() time.Duration {
-	for b := histBuckets - 1; b >= 0; b-- {
-		if h.counts[b].Load() > 0 {
-			return time.Duration(bucketMid(b)) * time.Microsecond
-		}
-	}
-	return 0
-}
+// Hist is the shared HDR-style latency histogram, which started here and
+// now lives in internal/obs so the server's latency metrics use the same
+// buckets and error bounds as the load generator's report.
+type Hist = obs.Histogram

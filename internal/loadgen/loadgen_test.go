@@ -14,55 +14,17 @@ import (
 	"time"
 )
 
-// TestHistQuantiles feeds a known uniform distribution and checks the
-// log-bucketed quantiles land within the histogram's ~3% relative error.
-func TestHistQuantiles(t *testing.T) {
+// Hist's own tests (quantile error bounds, bucket monotonicity) moved to
+// internal/obs with the histogram itself; TestHistIsObsHistogram pins the
+// alias so the generator and the server keep sharing one implementation.
+func TestHistIsObsHistogram(t *testing.T) {
 	var h Hist
-	// 1..10000 µs, once each: quantile q is q*10000 µs exactly.
-	for us := 1; us <= 10000; us++ {
-		h.Record(time.Duration(us) * time.Microsecond)
+	h.Record(5 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count %d, want 1", h.Count())
 	}
-	if h.Count() != 10000 {
-		t.Fatalf("count %d, want 10000", h.Count())
-	}
-	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
-		want := q * 10000 // µs
-		got := float64(h.Quantile(q).Microseconds())
-		if rel := math.Abs(got-want) / want; rel > 0.04 {
-			t.Errorf("q%.3f: got %vµs, want %vµs (rel err %.3f)", q, got, want, rel)
-		}
-	}
-	if max := h.Max().Microseconds(); math.Abs(float64(max)-10000) > 10000*0.04 {
-		t.Errorf("max %dµs, want ~10000µs", max)
-	}
-	// Empty histogram reports zero.
-	var empty Hist
-	if empty.Quantile(0.5) != 0 || empty.Max() != 0 {
-		t.Error("empty histogram should report 0")
-	}
-}
-
-// TestHistBucketsMonotonic sweeps values across many orders of magnitude and
-// checks bucket assignment is monotonic and midpoints stay within the bucket
-// bounds — the invariants the quantile scan relies on.
-func TestHistBucketsMonotonic(t *testing.T) {
-	prev := -1
-	for us := int64(0); us < int64(1)<<40; us = us*3/2 + 1 {
-		b := bucketOf(us)
-		if b < prev {
-			t.Fatalf("bucketOf(%d) = %d < previous %d", us, b, prev)
-		}
-		prev = b
-		mid := bucketMid(b)
-		// The midpoint must be within a factor of the bucket's relative
-		// resolution of any value mapping to it.
-		if us >= histSub {
-			if rel := math.Abs(float64(mid-us)) / float64(us); rel > 1.0/histSub {
-				t.Fatalf("bucketMid(%d)=%d far from member %d (rel %.4f)", b, mid, us, rel)
-			}
-		} else if mid != us {
-			t.Fatalf("direct bucket %d has midpoint %d", us, mid)
-		}
+	if h.Sum() < 4*time.Millisecond || h.Sum() > 6*time.Millisecond {
+		t.Fatalf("sum %v, want ~5ms", h.Sum())
 	}
 }
 

@@ -452,6 +452,7 @@ func (c *mcCounts) tallyN(r TrialResult, n int) {
 // injected RNG stream and tallies the outcomes, dispatching on the
 // configured sampling mode.
 func (s *Simulator) monteCarloChunk(rng *rand.Rand, trials int) mcCounts {
+	countTrials(s.Sampling, trials)
 	switch s.Sampling {
 	case SamplingLegacy:
 		return s.monteCarloChunkLegacy(rng, trials)

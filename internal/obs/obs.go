@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// writeJSONSnapshot encodes the registry's JSON snapshot to w.
+func writeJSONSnapshot(w io.Writer, r *Registry) {
+	_ = json.NewEncoder(w).Encode(r.TakeSnapshot())
+}
+
+// Obs bundles the observability plumbing one process shares across layers:
+// the metrics registry, the request tracer, and the structured logger that
+// access logs and slow-span warnings go to.
+type Obs struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Log      *slog.Logger
+}
+
+// New returns a ready Obs with an empty registry, a default-capacity
+// tracer, runtime gauges pre-registered, and the process-default logger.
+// Callers swap Log before serving if they want a dedicated handler.
+func New() *Obs {
+	o := &Obs{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(0),
+		Log:      slog.Default(),
+	}
+	RegisterRuntimeMetrics(o.Registry)
+	return o
+}
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// DebugHandler returns the opt-in side mux (the -debug-addr listener):
+// net/http/pprof profiling plus the same /metrics and /v1/metrics views the
+// main server exposes, so profiling a process never requires the public
+// listener.
+func (o *Obs) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", MetricsHandler(o.Registry))
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONSnapshot(w, o.Registry)
+	})
+	return mux
+}
+
+// memStatsSampler caches runtime.ReadMemStats results briefly so that a
+// scrape hitting several heap gauges pays the (stop-the-world) read once,
+// and back-to-back scrapes don't hammer it.
+type memStatsSampler struct {
+	mu    sync.Mutex
+	at    time.Time
+	stats runtime.MemStats
+}
+
+const memStatsMaxAge = 200 * time.Millisecond
+
+func (m *memStatsSampler) get() *runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); now.Sub(m.at) > memStatsMaxAge {
+		runtime.ReadMemStats(&m.stats)
+		m.at = now
+	}
+	return &m.stats
+}
+
+// RegisterRuntimeMetrics registers the Go runtime gauges (goroutines, heap,
+// GC) as func-backed series sampled at scrape time.
+func RegisterRuntimeMetrics(r *Registry) {
+	ms := &memStatsSampler{}
+	r.GaugeFunc("qsd_runtime_goroutines",
+		"Number of live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("qsd_runtime_heap_alloc_bytes",
+		"Bytes of allocated heap objects.", nil,
+		func() float64 { return float64(ms.get().HeapAlloc) })
+	r.GaugeFunc("qsd_runtime_heap_objects",
+		"Number of allocated heap objects.", nil,
+		func() float64 { return float64(ms.get().HeapObjects) })
+	r.CounterFunc("qsd_runtime_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time in seconds.", nil,
+		func() float64 { return float64(ms.get().PauseTotalNs) / 1e9 })
+	r.CounterFunc("qsd_runtime_gc_cycles_total",
+		"Completed GC cycles.", nil,
+		func() float64 { return float64(ms.get().NumGC) })
+}

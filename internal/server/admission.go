@@ -8,8 +8,9 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"speedofdata/internal/obs"
 )
 
 // Config tunes the serving tier's admission control: how many experiment
@@ -43,6 +44,16 @@ type Config struct {
 	// client may issue back to back before the sustained rate applies.  0
 	// with RatePerClient > 0 defaults to ceil(RatePerClient), at least 1.
 	BurstPerClient int
+	// Obs, when set, wires the server into an observability bundle: request
+	// metrics and admission gauges are registered with Obs.Registry,
+	// /v1/experiments/ requests are traced through Obs.Tracer (trace ID in
+	// X-Trace-Id, full trace at /v1/trace/{id}), and the /metrics and
+	// /v1/metrics endpoints are mounted.  nil serves without observability,
+	// byte-identical to the pre-obs server.
+	Obs *obs.Obs
+	// AccessLog enables a structured (slog) access-log line per request on
+	// Obs.Log, correlated by trace ID.  Ignored when Obs is nil.
+	AccessLog bool
 }
 
 // Admission defaults, chosen so a default server sheds under abuse but never
@@ -140,15 +151,20 @@ type gate struct {
 	queue   chan struct{}
 	timeout time.Duration
 
-	admitted atomic.Int64
-	shed     atomic.Int64
+	// admitted and shed are obs counters so the metrics registry can expose
+	// the gate's own storage (single source of truth with /v1/healthz); the
+	// gate works identically when no registry is attached.
+	admitted *obs.Counter
+	shed     *obs.Counter
 }
 
 func newGate(maxConcurrent, maxQueue int, timeout time.Duration) *gate {
 	return &gate{
-		slots:   make(chan struct{}, maxConcurrent),
-		queue:   make(chan struct{}, maxQueue),
-		timeout: timeout,
+		slots:    make(chan struct{}, maxConcurrent),
+		queue:    make(chan struct{}, maxQueue),
+		timeout:  timeout,
+		admitted: &obs.Counter{},
+		shed:     &obs.Counter{},
 	}
 }
 
@@ -211,7 +227,7 @@ type rateLimiter struct {
 
 	mu      sync.Mutex
 	clients map[string]*bucket
-	limited int64
+	limited *obs.Counter
 }
 
 type bucket struct {
@@ -229,6 +245,7 @@ func newRateLimiter(rate float64, burst int) *rateLimiter {
 		burst:   float64(burst),
 		now:     time.Now,
 		clients: make(map[string]*bucket),
+		limited: &obs.Counter{},
 	}
 }
 
@@ -253,7 +270,7 @@ func (l *rateLimiter) allow(client string) (time.Duration, bool) {
 		b.tokens--
 		return 0, true
 	}
-	l.limited++
+	l.limited.Inc()
 	return time.Duration((1 - b.tokens) / l.rate * float64(time.Second)), false
 }
 
@@ -268,9 +285,7 @@ func (l *rateLimiter) sweep(now time.Time) {
 }
 
 func (l *rateLimiter) limitedCount() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.limited
+	return l.limited.Value()
 }
 
 // clientKey extracts the rate-limiting key from a request: the remote host

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"speedofdata/internal/engine"
+	"speedofdata/internal/noise"
+	"speedofdata/internal/obs"
+	"speedofdata/internal/sim"
+)
+
+// instrument registers every layer's metrics with the observability bundle
+// and mounts the metrics/trace endpoints.  Called once from NewWithConfig
+// when Config.Obs is set.  All series over existing counters are func-backed
+// readers of the owning layer's storage — the same storage /v1/healthz
+// reports — so the three views cannot disagree.
+func (s *Server) instrument(o *obs.Obs) {
+	s.obs = o
+	reg := o.Registry
+
+	// Engine, sim kernel and noise samplers register their own series.
+	s.exp.Engine.Instrument(reg)
+	sim.Instrument(reg)
+	noise.Instrument(reg)
+
+	// Admission gate and rate limiter: live gauges plus the gate's counters.
+	reg.GaugeFunc("qsd_server_inflight",
+		"Experiment requests executing (admitted past the gate).", nil,
+		func() float64 { return float64(s.gate.inFlight()) })
+	reg.GaugeFunc("qsd_server_queue_depth",
+		"Experiment requests waiting for an execution slot.", nil,
+		func() float64 { return float64(s.gate.queueDepth()) })
+	reg.Gauge("qsd_server_queue_capacity",
+		"Configured bound on queued requests.", nil).Set(int64(s.cfg.MaxQueue))
+	reg.Gauge("qsd_server_max_concurrent",
+		"Configured bound on concurrently executing requests.", nil).Set(int64(s.cfg.MaxConcurrent))
+	reg.CounterFunc("qsd_server_admitted_total",
+		"Experiment requests admitted past the gate.", nil,
+		func() float64 { return float64(s.gate.admitted.Value()) })
+	reg.CounterFunc("qsd_server_shed_total",
+		"Experiment requests shed with 429 (queue overflow or admission timeout).", nil,
+		func() float64 { return float64(s.gate.shed.Value()) })
+	reg.CounterFunc("qsd_server_rate_limited_total",
+		"Requests refused by the per-client token bucket.", nil,
+		func() float64 {
+			if s.limiter == nil {
+				return 0
+			}
+			return float64(s.limiter.limitedCount())
+		})
+	reg.GaugeFunc("qsd_server_sse_subscribers",
+		"Live /v1/progress subscribers.", nil,
+		func() float64 { return float64(s.hub.subscribers()) })
+
+	// Persistent store, when one backs the engine cache.
+	if sb, ok := s.exp.Engine.Backend.(engine.StatBackend); ok {
+		stat := func(f func(engine.BackendStats) float64) func() float64 {
+			return func() float64 { return f(sb.Stats()) }
+		}
+		reg.GaugeFunc("qsd_store_entries", "Live entries in the result store.", nil,
+			stat(func(b engine.BackendStats) float64 { return float64(b.Entries) }))
+		reg.GaugeFunc("qsd_store_live_bytes", "Bytes of live records in the store file.", nil,
+			stat(func(b engine.BackendStats) float64 { return float64(b.LiveBytes) }))
+		reg.GaugeFunc("qsd_store_dead_bytes", "Bytes of superseded records awaiting compaction.", nil,
+			stat(func(b engine.BackendStats) float64 { return float64(b.DeadBytes) }))
+		reg.GaugeFunc("qsd_store_file_bytes", "Total store file size.", nil,
+			stat(func(b engine.BackendStats) float64 { return float64(b.FileBytes) }))
+		reg.CounterFunc("qsd_store_puts_total", "Records written to the store.", nil,
+			stat(func(b engine.BackendStats) float64 { return float64(b.Puts) }))
+		reg.CounterFunc("qsd_store_put_skipped_total", "Writes skipped (oversized value or read-only store).", nil,
+			stat(func(b engine.BackendStats) float64 { return float64(b.Skipped) }))
+		reg.CounterFunc("qsd_store_evicted_total", "Records evicted by the byte budget.", nil,
+			stat(func(b engine.BackendStats) float64 { return float64(b.Evicted) }))
+		reg.CounterFunc("qsd_store_stale_total", "Records dropped at open for schema/version mismatch.", nil,
+			stat(func(b engine.BackendStats) float64 { return float64(b.Stale) }))
+		reg.CounterFunc("qsd_store_compactions_total", "Completed compaction passes.", nil,
+			stat(func(b engine.BackendStats) float64 { return float64(b.Compactions) }))
+	}
+
+	s.mux.Handle("GET /metrics", obs.MetricsHandler(reg))
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetricsJSON)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.obs.Registry.TakeSnapshot())
+}
+
+// traceJSON is the /v1/trace/{id} response body.
+type traceJSON struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Start is the trace's wall-clock start; span offsets are relative to it.
+	Start           time.Time  `json:"start"`
+	DurationSeconds float64    `json:"duration_seconds"`
+	Dropped         int64      `json:"dropped_spans,omitempty"`
+	Spans           []spanJSON `json:"spans"`
+}
+
+type spanJSON struct {
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// StartOffsetSeconds places the span on the trace timeline.
+	StartOffsetSeconds float64 `json:"start_offset_seconds"`
+	DurationSeconds    float64 `json:"duration_seconds"`
+	Outcome            string  `json:"outcome,omitempty"`
+	Err                string  `json:"error,omitempty"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.obs.Tracer.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"no finished trace %q (traces are queryable once their request completes, newest %d retained)",
+			id, obs.DefaultTraceCapacity)
+		return
+	}
+	out := traceJSON{
+		ID:              tr.ID(),
+		Name:            tr.Name(),
+		Start:           tr.Start(),
+		DurationSeconds: tr.End().Sub(tr.Start()).Seconds(),
+		Dropped:         tr.Dropped(),
+	}
+	for _, sp := range tr.Spans() {
+		out.Spans = append(out.Spans, spanJSON{
+			ID:                 sp.ID,
+			Parent:             sp.Parent,
+			Name:               sp.Name,
+			StartOffsetSeconds: sp.Start.Sub(tr.Start()).Seconds(),
+			DurationSeconds:    sp.Duration().Seconds(),
+			Outcome:            sp.Outcome,
+			Err:                sp.Err,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// statusWriter captures the response status for metrics and access logs.
+// It implements http.Flusher unconditionally (delegating when the wrapped
+// writer supports it) because the SSE handler requires a flushing writer.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// observe is the request middleware: it traces /v1/experiments/ requests
+// (root span in the request context, trace ID in X-Trace-Id), then records
+// the per-route latency histogram and status counter, and emits the access
+// log line.  The untraced, unobserved path (Config.Obs nil) bypasses it
+// entirely in ServeHTTP.
+func (s *Server) observe(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+
+	var trace *obs.Trace
+	if strings.HasPrefix(r.URL.Path, "/v1/experiments/") {
+		trace = s.obs.Tracer.Start(r.Method + " " + r.URL.Path)
+		sw.Header().Set("X-Trace-Id", trace.ID())
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), trace.Root()))
+	}
+
+	s.mux.ServeHTTP(sw, r)
+
+	if trace != nil {
+		s.obs.Tracer.Finish(trace)
+	}
+	elapsed := time.Since(start)
+	// Go 1.22+ mux sets r.Pattern on the request after matching; unmatched
+	// requests (404) share one bounded label.
+	route := r.Pattern
+	if route == "" {
+		route = "unmatched"
+	}
+	reg := s.obs.Registry
+	reg.Counter("qsd_server_requests_total",
+		"HTTP requests served, by route pattern and status code.",
+		obs.Labels{"route": route, "code": strconv.Itoa(sw.code)}).Inc()
+	reg.Histogram("qsd_server_request_seconds",
+		"HTTP request latency by route pattern.",
+		obs.Labels{"route": route}).Record(elapsed)
+	if s.cfg.AccessLog && s.obs.Log != nil {
+		attrs := []any{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.RequestURI()),
+			slog.String("route", route),
+			slog.Int("status", sw.code),
+			slog.Duration("duration", elapsed),
+			slog.String("client", clientKey(r)),
+		}
+		if trace != nil {
+			attrs = append(attrs, slog.String("trace_id", trace.ID()))
+		}
+		if sw.code >= 500 {
+			s.obs.Log.Error("request", attrs...)
+		} else {
+			s.obs.Log.Info("request", attrs...)
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 
 	"speedofdata/internal/core"
 	"speedofdata/internal/engine"
+	"speedofdata/internal/obs"
 	"speedofdata/internal/report"
 )
 
@@ -62,6 +63,7 @@ type Server struct {
 	hub      *progressHub
 	gate     *gate
 	limiter  *rateLimiter // nil when rate limiting is disabled
+	obs      *obs.Obs     // nil when observability is disabled
 	draining atomic.Bool
 
 	// runReport executes one experiment request; tests swap it for a stub so
@@ -103,6 +105,9 @@ func NewWithConfig(exp core.Experiments, defaults core.RunParams, cfg Config) *S
 	s.mux.HandleFunc("GET /v1/progress", s.hub.handleSSE)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	if cfg.Obs != nil {
+		s.instrument(cfg.Obs)
+	}
 	return s
 }
 
@@ -115,8 +120,14 @@ func (s *Server) Shutdown() {
 	s.hub.close()
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler.  With observability wired in, every
+// request passes the observe middleware (tracing, request metrics, access
+// log); without it the mux serves directly, as before.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.obs != nil {
+		s.observe(w, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -446,8 +457,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:         s.gate.queueDepth(),
 		QueueCapacity:      s.cfg.MaxQueue,
 		MaxConcurrent:      s.cfg.MaxConcurrent,
-		Admitted:           s.gate.admitted.Load(),
-		Shed:               s.gate.shed.Load(),
+		Admitted:           s.gate.admitted.Value(),
+		Shed:               s.gate.shed.Value(),
 		EngineJobsInFlight: s.exp.Engine.InFlight(),
 		SSESubscribers:     s.hub.subscribers(),
 	}

@@ -473,6 +473,11 @@ func TestParamBoundsTable(t *testing.T) {
 		"RequestTimeout": true,
 		"RatePerClient":  true,
 		"BurstPerClient": true,
+		// Obs and AccessLog are wiring, not admission knobs: a nil bundle
+		// disables observability and a bool cannot be invalid, so there is
+		// nothing for Validate to reject.
+		"Obs":       true,
+		"AccessLog": true,
 	}
 	rt := reflect.TypeOf(Config{})
 	for i := 0; i < rt.NumField(); i++ {

@@ -23,6 +23,9 @@ type progressEvent struct {
 	Total int `json:"total"`
 	// Key is the completed job's fingerprint.
 	Key string `json:"key"`
+	// TraceID names the request trace the job ran under, when the batch was
+	// traced, so an SSE consumer can correlate progress with /v1/trace/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // partialEvent is one refining partial estimate of a long-running
@@ -108,8 +111,8 @@ func (h *progressHub) send(ev sseEvent) {
 }
 
 // broadcast is installed as the engine's Progress callback.
-func (h *progressHub) broadcast(done, total int, key string) {
-	h.send(sseEvent{name: "job", data: progressEvent{Done: done, Total: total, Key: key}})
+func (h *progressHub) broadcast(done, total int, key, traceID string) {
+	h.send(sseEvent{name: "job", data: progressEvent{Done: done, Total: total, Key: key, TraceID: traceID}})
 }
 
 // broadcastPartial is installed as the engine's Partial callback.

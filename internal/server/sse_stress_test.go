@@ -38,7 +38,7 @@ func TestSSEHubStress(t *testing.T) {
 	go func() {
 		defer pubs.Done()
 		for i := 1; i <= events; i++ {
-			h.broadcast(i, events, "job-key")
+			h.broadcast(i, events, "job-key", "")
 		}
 	}()
 	go func() {

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"speedofdata/internal/obs"
+)
+
+// Package-level counters feeding the metrics registry.  They are plain
+// atomics updated once per Run / Acquire — never per event, so the kernel's
+// zero-allocation, zero-overhead event loop is untouched — and read by
+// func-backed series at scrape time.
+var (
+	// eventsFired totals events fired across all kernel runs in the process.
+	eventsFired atomic.Int64
+	// runsDone counts completed Kernel.Run calls.
+	runsDone atomic.Int64
+	// kernelAcquires and kernelNews measure pool effectiveness: acquires
+	// minus news is the number of reuses.
+	kernelAcquires atomic.Int64
+	kernelNews     atomic.Int64
+)
+
+// Instrument registers the kernel's counters with reg.  The series are
+// func-backed readers of this package's own atomics, so the scrape path
+// adds no work to simulation runs.  Call once, before serving.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("qsd_sim_events_total",
+		"Discrete events fired across all simulation kernel runs.", nil,
+		func() float64 { return float64(eventsFired.Load()) })
+	reg.CounterFunc("qsd_sim_runs_total",
+		"Completed simulation kernel runs.", nil,
+		func() float64 { return float64(runsDone.Load()) })
+	reg.CounterFunc("qsd_sim_kernel_acquires_total",
+		"Kernels taken from the pool (reused or fresh).", nil,
+		func() float64 { return float64(kernelAcquires.Load()) })
+	reg.CounterFunc("qsd_sim_kernel_allocs_total",
+		"Kernels the pool had to allocate fresh; acquires minus allocs is reuse.", nil,
+		func() float64 { return float64(kernelNews.Load()) })
+}

@@ -152,6 +152,10 @@ func (k *Kernel) Run() Stats {
 			e.fn()
 		}
 	}
+	// One atomic add per run (not per event) keeps the loop's zero-overhead
+	// guarantee while feeding the process-wide event counter.
+	eventsFired.Add(int64(k.stats.Events))
+	runsDone.Add(1)
 	return k.stats
 }
 
@@ -171,13 +175,19 @@ func (k *Kernel) Reset() {
 
 // kernelPool recycles kernels (and their event-queue capacity) across
 // simulation runs; see AcquireKernel.
-var kernelPool = sync.Pool{New: func() any { return NewKernel() }}
+var kernelPool = sync.Pool{New: func() any {
+	kernelNews.Add(1)
+	return NewKernel()
+}}
 
 // AcquireKernel returns a reset kernel, reusing pooled backing storage when
 // available.  Release it after the run so the next simulation skips the
 // queue's growth allocations.  Pooling never affects results: a reset
 // kernel is observationally identical to a new one.
-func AcquireKernel() *Kernel { return kernelPool.Get().(*Kernel) }
+func AcquireKernel() *Kernel {
+	kernelAcquires.Add(1)
+	return kernelPool.Get().(*Kernel)
+}
 
 // Release resets the kernel and returns it to the pool.  The caller must
 // not use it afterwards.
