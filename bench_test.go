@@ -1299,3 +1299,115 @@ func BenchmarkNetworkReplay(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkNetworkFaultReplay measures what the fault layer's rerouting
+// costs: the same 4-tile replay once on the pristine mesh and once with the
+// bisection boundary dead (both directions of one physical link), reported
+// as kernel events/sec each way and appended to BENCH_network.json as a
+// fault_overhead row.  The row is merged into the document BenchmarkNetworkReplay
+// writes rather than replacing it, so either bench can run alone.
+func BenchmarkNetworkFaultReplay(b *testing.B) {
+	type faultRow struct {
+		Description         string  `json:"description"`
+		Benchmark           string  `json:"benchmark"`
+		Tiles               int     `json:"tiles"`
+		CleanEventsPerSec   float64 `json:"clean_events_per_sec"`
+		FaultedEventsPerSec float64 `json:"faulted_events_per_sec"`
+		// NsPerEventRatio is faulted ns/event over clean ns/event — the
+		// per-event cost of fault bookkeeping and detoured routes (≈1 means
+		// rerouting is free per event; the makespans capture the model cost).
+		NsPerEventRatio   float64 `json:"ns_per_event_ratio"`
+		Reroutes          int     `json:"reroutes"`
+		DetourHops        int     `json:"detour_hops"`
+		CleanMakespanMs   float64 `json:"clean_makespan_ms"`
+		FaultedMakespanMs float64 `json:"faulted_makespan_ms"`
+	}
+	m := schedule.DefaultLatencyModel()
+	c, err := circuits.Generate(circuits.QCLA, benchBits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := schedule.Characterize(c, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := network.PlanConfig(m, c.NumQubits, 4, ch.ZeroBandwidthPerMs*core.NetSupplyHeadroom, ch.Pi8BandwidthPerMs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := network.NewTopology(len(cfg.Machine.Tiles))
+	part, err := network.PartitionCircuit(c, topo.TileCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Partitions = []network.Partition{part}
+	cfg.LinkEPRPerMs = network.MatchedLinkEPRPerMs(c, m, topo, part)
+	if ceiling := cfg.Machine.LinkEPRPerMs(); cfg.LinkEPRPerMs > ceiling || cfg.LinkEPRPerMs <= 0 {
+		cfg.LinkEPRPerMs = ceiling
+	}
+	cfg.LinkBufferPairs = core.DefaultBufferAncillae
+
+	var row faultRow
+	for i := 0; i < b.N; i++ {
+		clean := cfg
+		t0 := time.Now()
+		cleanRun, err := network.Replay(c, clean)
+		cleanNs := time.Since(t0).Nanoseconds()
+		if err != nil {
+			b.Fatal(err)
+		}
+		faulted := cfg
+		faulted.Faults = network.FaultPlanFor(network.FaultDeadLink, topo)
+		t0 = time.Now()
+		faultRun, err := network.Replay(c, faulted)
+		faultNs := time.Since(t0).Nanoseconds()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if faultRun.Faults.Reroutes == 0 {
+			b.Fatal("dead bisection link produced no reroutes")
+		}
+		row = faultRow{
+			Description: "Reroute overhead: the same replay fault-free vs with the bisection boundary dead.",
+			Benchmark:   c.Name,
+			Tiles:       topo.TileCount(),
+			Reroutes:    faultRun.Faults.Reroutes,
+			DetourHops:  faultRun.Faults.DetourHops,
+		}
+		if cleanNs > 0 {
+			row.CleanEventsPerSec = float64(cleanRun.Events) / (float64(cleanNs) / 1e9)
+		}
+		if faultNs > 0 {
+			row.FaultedEventsPerSec = float64(faultRun.Events) / (float64(faultNs) / 1e9)
+		}
+		if cleanRun.Events > 0 && faultRun.Events > 0 && cleanNs > 0 {
+			row.NsPerEventRatio = (float64(faultNs) / float64(faultRun.Events)) /
+				(float64(cleanNs) / float64(cleanRun.Events))
+		}
+		row.CleanMakespanMs = cleanRun.Results[0].ExecutionTime.Milliseconds()
+		row.FaultedMakespanMs = faultRun.Results[0].ExecutionTime.Milliseconds()
+	}
+	b.ReportMetric(row.FaultedEventsPerSec, "faulted-events/sec")
+	b.ReportMetric(row.NsPerEventRatio, "ns/event-ratio")
+
+	// Merge into whatever BenchmarkNetworkReplay last wrote, preserving its
+	// fields; start a fresh document if the file is absent or unreadable.
+	doc := map[string]json.RawMessage{}
+	if prev, err := os.ReadFile("BENCH_network.json"); err == nil {
+		if err := json.Unmarshal(prev, &doc); err != nil {
+			doc = map[string]json.RawMessage{}
+		}
+	}
+	raw, err := json.Marshal(row)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc["fault_overhead"] = raw
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_network.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

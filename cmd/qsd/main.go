@@ -15,9 +15,12 @@
 // time vs buffer capacity), contention (co-scheduled benchmarks sharing one
 // factory bank), factory-sim (factory pipelines on the event kernel),
 // netsweep (the teleportation interconnect's link-bandwidth × tile-count
-// grid) and netcontention (co-scheduled benchmarks sharing one routed mesh);
-// -buffer sets the finite buffer capacity (0 = infinite) and -tiles bounds
-// the network scenarios' mesh size.
+// grid), netcontention (co-scheduled benchmarks sharing one routed mesh),
+// netfault (the benchmark replayed under dead and degraded EPR links with
+// fault-aware rerouting) and netdegrade (link failures swept until the mesh
+// partitions); -buffer sets the finite buffer capacity (0 = infinite),
+// -tiles bounds the network scenarios' mesh size and -faults bounds the
+// netdegrade failure sweep.
 //
 // Every experiment runs as a job batch on the shared experiment engine
 // (internal/engine): -parallel selects the worker count, a progress line on
@@ -115,7 +118,8 @@ func run(args []string, out *os.File) error {
 	benchName := fs.String("benchmark", "QCLA", "benchmark for fig15/fig15buf/buffersweep (QRCA, QCLA, QFT)")
 	arch := fs.String("arch", "", "restrict fig15/fig15buf/buffersweep to one architecture (QLA, GQLA, CQLA, GCQLA, Fully-Multiplexed)")
 	buffer := fs.Int("buffer", core.DefaultBufferAncillae, "buffer capacity for fig15buf/contention/factory-sim/netsweep/netcontention (0 = infinite)")
-	tiles := fs.Int("tiles", core.DefaultTiles, "mesh tile bound for netsweep/netcontention")
+	tiles := fs.Int("tiles", core.DefaultTiles, "mesh tile bound for netsweep/netcontention/netfault/netdegrade")
+	faults := fs.Int("faults", core.DefaultFaults, "netdegrade: boundary failures swept (capped at the mesh's boundary count)")
 	format := fs.String("format", "text", "output format: text, json or csv")
 	parallel := fs.Int("parallel", 0, "experiment engine workers (0 = GOMAXPROCS, 1 = sequential)")
 	progress := fs.Bool("progress", true, "print a job progress line on stderr")
@@ -183,7 +187,8 @@ func run(args []string, out *os.File) error {
 	e.Engine = eng
 	p := core.RunParams{Trials: *trials, Seed: *seed, Sparse: *sparse, BitSliced: *bitsliced,
 		CI: *ci, Conf: *conf, Buckets: *buckets,
-		MaxScale: *maxScale, Benchmark: *benchName, Arch: *arch, Buffer: *buffer, Tiles: *tiles}
+		MaxScale: *maxScale, Benchmark: *benchName, Arch: *arch, Buffer: *buffer, Tiles: *tiles,
+		Faults: *faults}
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -391,6 +396,10 @@ func writeLoadResult(out *os.File, format string, res loadgen.Result) error {
 		fmt.Fprintf(out, "offered %.1f/s achieved %.1f/s\n", res.OfferedPerSec, res.AchievedPerSec)
 		fmt.Fprintf(out, "sent %d ok %d shed %d errors %d (retry-after on %d/%d sheds)\n",
 			res.Sent, res.OK, res.Shed, res.Errors, res.RetryAfterSeen, res.Shed)
+		if res.Errors > 0 {
+			fmt.Fprintf(out, "error breakdown: %d timeout %d transport %d http-status\n",
+				res.Timeouts, res.TransportErrors, res.HTTPErrors)
+		}
 		fmt.Fprintf(out, "latency p50 %v p90 %v p99 %v p999 %v max %v\n",
 			res.P50, res.P90, res.P99, res.P999, res.Max)
 		if res.SSESessions > 0 {

@@ -629,6 +629,47 @@ func (e Experiments) NetContention(tiles, linkBufferPairs int) ([]NetContentionL
 	return engine.Run(ctx, e.Engine, jobs)
 }
 
+// NetFault runs the netfault scenario for one benchmark: the circuit
+// replayed on one routed tiles-tile mesh across a (fault mode × link
+// bandwidth) grid — pristine, every link degraded, and the bisection boundary
+// dead — sweeping the bandwidth around the Section 6 balance point.
+// linkBufferPairs bounds each link's EPR channel buffer (0 = unbounded).
+func (e Experiments) NetFault(b circuits.Benchmark, tiles, linkBufferPairs int) ([]network.FaultSweepPoint, error) {
+	c, ch, err := e.characterizedBenchmark(b)
+	if err != nil {
+		return nil, err
+	}
+	sc := network.FaultSweepConfig{
+		Latency:         e.Options.Latency,
+		ZeroPerMs:       ch.ZeroBandwidthPerMs * NetSupplyHeadroom,
+		Pi8PerMs:        ch.Pi8BandwidthPerMs,
+		LinkBufferPairs: float64(linkBufferPairs),
+		Tiles:           tiles,
+		LinkFactors:     network.DefaultFaultLinkFactors(),
+	}
+	return network.FaultSweepEngine(e.ctx(), e.Engine, c, sc)
+}
+
+// NetDegrade runs the netdegrade scenario for one benchmark: the circuit
+// replayed at matched link bandwidth on a tiles-tile mesh while mesh
+// boundaries die one by one, up to maxFailures, reporting Partitioned rows
+// once the failures disconnect the routed traffic.
+func (e Experiments) NetDegrade(b circuits.Benchmark, tiles, linkBufferPairs, maxFailures int) ([]network.DegradePoint, error) {
+	c, ch, err := e.characterizedBenchmark(b)
+	if err != nil {
+		return nil, err
+	}
+	sc := network.DegradeConfig{
+		Latency:         e.Options.Latency,
+		ZeroPerMs:       ch.ZeroBandwidthPerMs * NetSupplyHeadroom,
+		Pi8PerMs:        ch.Pi8BandwidthPerMs,
+		LinkBufferPairs: float64(linkBufferPairs),
+		Tiles:           tiles,
+		MaxFailures:     maxFailures,
+	}
+	return network.DegradeSweepEngine(e.ctx(), e.Engine, c, sc)
+}
+
 // FactoryPipelineHorizonMs is the simulated duration of the factory-sim
 // scenario: long enough for both pipelines to reach their steady state.
 const FactoryPipelineHorizonMs = 50

@@ -211,6 +211,8 @@ func TestNetworkScenarioRegistration(t *testing.T) {
 	wantParams := map[string][]string{
 		"netsweep":      {"bits", "benchmark", "tiles", "buffer"},
 		"netcontention": {"bits", "tiles", "buffer"},
+		"netfault":      {"bits", "benchmark", "tiles", "buffer"},
+		"netdegrade":    {"bits", "benchmark", "tiles", "buffer", "faults"},
 	}
 	listed := map[string]ExperimentInfo{}
 	for _, info := range ExperimentInfos() {
@@ -231,6 +233,8 @@ func TestNetworkScenarioRegistration(t *testing.T) {
 	for alias, want := range map[string]string{
 		"network-sweep":      "netsweep",
 		"network-contention": "netcontention",
+		"network-fault":      "netfault",
+		"network-degrade":    "netdegrade",
 		"NETSWEEP":           "netsweep",
 	} {
 		got, ok := CanonicalExperimentID(alias)
@@ -252,10 +256,27 @@ func TestNetworkScenarioRegistration(t *testing.T) {
 			t.Errorf("%s: empty or mislabelled section", id)
 		}
 	}
+	// The fault scenarios need a mesh that survives a dead bisection link, so
+	// they run at four tiles (a 2x2 with a redundant path around any one link).
+	p.Tiles = 4
+	for _, id := range []string{"netfault", "netdegrade"} {
+		sec, err := RunExperiment(e, id, p)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if sec.ID != id || sec.Text() == "" {
+			t.Errorf("%s: empty or mislabelled section", id)
+		}
+	}
 	bad := p
 	bad.Tiles = 0
 	if err := bad.Validate(); err == nil {
 		t.Error("zero tiles should fail validation")
+	}
+	bad = p
+	bad.Faults = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative faults should fail validation")
 	}
 }
 

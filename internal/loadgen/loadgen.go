@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
@@ -116,6 +117,15 @@ type Result struct {
 	OK     int64 `json:"ok"`
 	Shed   int64 `json:"shed"`
 	Errors int64 `json:"errors"`
+	// Errors decomposed: Timeouts are requests the per-request deadline
+	// killed, TransportErrors every other failure before an HTTP status
+	// arrived (refused connection, reset, bad URL), and HTTPErrors responses
+	// that did arrive with a non-2xx, non-429 status.  The three sum to
+	// Errors, so a saturated server (timeouts) reads differently from a dead
+	// one (transport) or a broken workload (HTTP status).
+	Timeouts        int64 `json:"timeouts"`
+	TransportErrors int64 `json:"transport_errors"`
+	HTTPErrors      int64 `json:"http_errors"`
 	// RetryAfterSeen counts 429 responses that carried a Retry-After header
 	// (every shed should).
 	RetryAfterSeen int64 `json:"retry_after_seen"`
@@ -210,17 +220,20 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	schedule := plan(cfg)
 	res := Result{OfferedPerSec: cfg.Rate, ByStatus: map[int]int64{}}
 	var (
-		hist     Hist
-		mu       sync.Mutex // guards ByStatus
-		wg       sync.WaitGroup
-		sseWG    sync.WaitGroup
-		sent     atomic.Int64
-		ok       atomic.Int64
-		shed     atomic.Int64
-		errs     atomic.Int64
-		retrySaw atomic.Int64
-		sseN     atomic.Int64
-		sseEv    atomic.Int64
+		hist      Hist
+		mu        sync.Mutex // guards ByStatus
+		wg        sync.WaitGroup
+		sseWG     sync.WaitGroup
+		sent      atomic.Int64
+		ok        atomic.Int64
+		shed      atomic.Int64
+		errs      atomic.Int64
+		timeouts  atomic.Int64
+		transport atomic.Int64
+		httpErrs  atomic.Int64
+		retrySaw  atomic.Int64
+		sseN      atomic.Int64
+		sseEv     atomic.Int64
 	)
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
@@ -266,12 +279,18 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			req, err := http.NewRequestWithContext(reqCtx, "GET", u, nil)
 			if err != nil {
 				errs.Add(1)
+				transport.Add(1)
 				return
 			}
 			t0 := time.Now()
 			resp, err := client.Do(req)
 			if err != nil {
 				errs.Add(1)
+				if isTimeout(err) {
+					timeouts.Add(1)
+				} else {
+					transport.Add(1)
+				}
 				return
 			}
 			io.Copy(io.Discard, resp.Body)
@@ -289,6 +308,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 				}
 			default:
 				errs.Add(1)
+				httpErrs.Add(1)
 			}
 		}(pr.url)
 	}
@@ -308,6 +328,9 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.OK = ok.Load()
 	res.Shed = shed.Load()
 	res.Errors = errs.Load()
+	res.Timeouts = timeouts.Load()
+	res.TransportErrors = transport.Load()
+	res.HTTPErrors = httpErrs.Load()
 	res.RetryAfterSeen = retrySaw.Load()
 	res.SSESessions = sseN.Load()
 	res.SSEEvents = sseEv.Load()
@@ -320,6 +343,17 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.P999 = hist.Quantile(0.999)
 	res.Max = hist.Max()
 	return res, ctx.Err()
+}
+
+// isTimeout reports whether a request failed on its deadline rather than on
+// the wire.  client.Do wraps the cause in a *url.Error, so this checks both
+// the context sentinel and the net.Error timeout flag.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // subscribeProgress holds one /v1/progress subscription open until ctx

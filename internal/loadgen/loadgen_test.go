@@ -234,6 +234,66 @@ func TestRunCountsShedAndErrors(t *testing.T) {
 	if res.ByStatus[429] != res.Shed {
 		t.Errorf("ByStatus[429]=%d, want %d", res.ByStatus[429], res.Shed)
 	}
+	// Every error here arrived as an HTTP status (500), not on the wire.
+	if res.HTTPErrors != res.Errors || res.TransportErrors != 0 || res.Timeouts != 0 {
+		t.Errorf("error decomposition http=%d transport=%d timeout=%d, want all %d HTTP",
+			res.HTTPErrors, res.TransportErrors, res.Timeouts, res.Errors)
+	}
+}
+
+// TestRunClassifiesTransportErrors points the generator at a closed listener:
+// every request dies on connect, so the errors are transport, not HTTP.
+func TestRunClassifiesTransportErrors(t *testing.T) {
+	ts, _ := stubServer(t, 0, nil)
+	ts.Close() // keep the URL, kill the listener
+	res, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Rate:     100,
+		Duration: 200 * time.Millisecond,
+		Seed:     5,
+		Mix:      baseMix(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Errors != res.Sent {
+		t.Fatalf("sent=%d errors=%d; want every request to fail", res.Sent, res.Errors)
+	}
+	if res.TransportErrors != res.Errors || res.HTTPErrors != 0 {
+		t.Errorf("refused connections classified as transport=%d http=%d timeout=%d, want all %d transport",
+			res.TransportErrors, res.HTTPErrors, res.Timeouts, res.Errors)
+	}
+	if len(res.ByStatus) != 0 {
+		t.Errorf("no response ever arrived, but ByStatus=%v", res.ByStatus)
+	}
+}
+
+// TestRunClassifiesTimeouts gives requests a deadline shorter than the
+// stub's delay: every request dies on its per-request timeout.
+func TestRunClassifiesTimeouts(t *testing.T) {
+	ts, _ := stubServer(t, 500*time.Millisecond, nil)
+	res, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Rate:     50,
+		Duration: 200 * time.Millisecond,
+		Seed:     9,
+		Timeout:  50 * time.Millisecond,
+		Mix:      baseMix(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Errors != res.Sent {
+		t.Fatalf("sent=%d errors=%d; want every request to time out", res.Sent, res.Errors)
+	}
+	if res.Timeouts != res.Errors || res.OK != 0 {
+		t.Errorf("deadline kills classified as timeout=%d transport=%d http=%d, want all %d timeouts",
+			res.Timeouts, res.TransportErrors, res.HTTPErrors, res.Errors)
+	}
+	if res.Timeouts+res.TransportErrors+res.HTTPErrors != res.Errors {
+		t.Errorf("decomposition %d+%d+%d doesn't add to errors %d",
+			res.Timeouts, res.TransportErrors, res.HTTPErrors, res.Errors)
+	}
 }
 
 // TestRunSSESessions checks the SSE fraction opens progress subscriptions

@@ -64,6 +64,11 @@ type Config struct {
 	// partitioned (to size the link bandwidth, say) pass the result here so
 	// the work is not repeated.
 	Partitions []Partition
+	// Faults is the deterministic fault plan injected into the replay:
+	// dead links and EPR-rate degradations, static (At == 0) or scheduled
+	// at event-kernel timestamps.  Empty runs the fault-free fast path,
+	// byte-identical to a build without the fault layer.
+	Faults FaultPlan
 }
 
 // linkRatePerMs returns the effective per-link EPR bandwidth.
@@ -113,6 +118,11 @@ func (cfg Config) Validate() error {
 			return fmt.Errorf("network: tile %d zero supply %v/ms: %w", i, r, sim.ErrZeroRate)
 		}
 	}
+	if len(cfg.Faults) > 0 {
+		if err := cfg.Faults.Validate(NewTopology(len(cfg.Machine.Tiles))); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -132,7 +142,7 @@ func MatchedLinkEPRPerMs(c *quantum.Circuit, m schedule.LatencyModel, topo Topol
 	_, sodUs := dag.WeightedCriticalPath(func(g quantum.Gate) float64 {
 		return float64(m.GateWeightSpeedOfData(g))
 	})
-	if !(sodUs > 0) {
+	if !(sodUs > 0) || math.IsInf(sodUs, 0) || math.IsNaN(sodUs) {
 		return 0
 	}
 	hops := 0
@@ -146,6 +156,9 @@ func MatchedLinkEPRPerMs(c *quantum.Circuit, m schedule.LatencyModel, topo Topol
 				hops += 2 * topo.HopDistance(t, exec)
 			}
 		}
+	}
+	if hops == 0 {
+		return 0
 	}
 	return float64(hops) * 1000.0 / (float64(links) * sodUs)
 }

@@ -7,4 +7,6 @@ import "speedofdata/internal/engine"
 // meaning.
 func init() {
 	engine.RegisterResultType(SweepPoint{}, 1)
+	engine.RegisterResultType(FaultSweepPoint{}, 1)
+	engine.RegisterResultType(DegradePoint{}, 1)
 }

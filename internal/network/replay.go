@@ -1,6 +1,7 @@
 package network
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -61,6 +62,10 @@ type ReplayRun struct {
 	// Links holds per-channel statistics in Topology.Links order (empty on
 	// a 1-tile mesh).
 	Links []LinkStat
+	// Faults is the fault decomposition of the run: reroutes, detour hops
+	// and degradation wait caused by the injected Config.Faults (the zero
+	// value for a zero-fault replay).
+	Faults FaultStats
 }
 
 // MaxLinkHighWater returns the largest buffered-pair peak across links.
@@ -102,9 +107,11 @@ type netGate struct {
 // that index — the closure-free replacement for the recursive hop closure.
 type teleState struct {
 	fi       int    // owning flat gate
-	route    []Link // cached route (read-only)
+	route    []Link // cached route (read-only; replaced on mid-flight reroute)
 	hop      int
+	dest     int     // final tile, for re-resolving after a fault
 	ret      bool    // return trip (fires the outbound join)
+	waiting  bool    // an EPR-pair acquire is pending on route[hop]
 	hopReady float64 // when the current hop requested its EPR pair
 }
 
@@ -132,6 +139,18 @@ type netState struct {
 	prods   []*sim.Producer
 	linkIdx map[Link]int
 	routes  [][]Link // (from*tiles+to) -> cached dimension-order route
+
+	// Fault state.  faulted is false for an empty Config.Faults, keeping
+	// the route cache on the plain dimension-order path; everything below
+	// it is only touched when a plan is present.
+	faulted      bool
+	plan         FaultPlan
+	linkRate     float64 // healthy per-link EPR rate (pairs/us)
+	linkDown     []bool  // per linkIdx: the link is dead
+	linkDegraded []bool  // per linkIdx: the link runs at a reduced rate
+	rerouted     []bool  // per routes index: cached route deviates from dimension order
+	fstats       FaultStats
+	replayErr    error
 
 	tele     []teleState
 	teleFree []int32
@@ -167,6 +186,9 @@ func (r *netState) Fire(idx int) {
 	switch {
 	case idx == netDispatchIdx:
 		r.dispatch()
+	case idx < netDispatchIdx:
+		// Scheduled faults carry their plan index as -2-pi.
+		r.applyFault(-2 - idx)
 	case idx < r.total:
 		r.completed(idx)
 	case idx < 2*r.total:
@@ -181,13 +203,112 @@ func (r *netState) Fire(idx int) {
 	}
 }
 
-// route returns the cached dimension-order route between two tiles.
+// route returns the cached route between two tiles: the plain dimension-order
+// route on a pristine mesh, the fault-avoiding fallback (opposite dimension
+// order, then a bounded BFS detour) when a fault plan is active.  On a
+// partitioned mesh it fails the replay and returns nil; callers must check
+// replayErr before using the route.
 func (r *netState) route(from, to int) []Link {
 	i := from*r.nTiles + to
 	if r.routes[i] == nil {
-		r.routes[i] = r.topo.Route(from, to)
+		if r.faulted {
+			rt, rer, err := r.topo.RouteAvoiding(from, to, r.linkIsDown)
+			if err != nil {
+				r.fail(err)
+				return nil
+			}
+			r.routes[i], r.rerouted[i] = rt, rer
+		} else {
+			r.routes[i] = r.topo.Route(from, to)
+		}
 	}
 	return r.routes[i]
+}
+
+// linkIsDown is the RouteAvoiding predicate over the per-replay link-status
+// table.
+func (r *netState) linkIsDown(l Link) bool { return r.linkDown[r.linkIdx[l]] }
+
+// fail aborts the replay with the first error (mesh partitioned mid-run).
+func (r *netState) fail(err error) {
+	if r.replayErr == nil {
+		r.replayErr = err
+		r.k.Stop()
+	}
+}
+
+// clearRoutes drops every cached route so the next lookup re-resolves
+// against the updated link-status table.  In-flight teleports keep their old
+// slices; teleStep re-checks each hop against linkDown, so stale routes
+// self-heal at the next hop.
+func (r *netState) clearRoutes() {
+	for i := range r.routes {
+		r.routes[i] = nil
+		r.rerouted[i] = false
+	}
+}
+
+// noteSpawn accounts a teleport launched on a non-preferred route.
+func (r *netState) noteSpawn(route []Link) {
+	from, to := route[0].From, route[len(route)-1].To
+	if r.rerouted[from*r.nTiles+to] {
+		r.fstats.Reroutes++
+		r.fstats.DetourHops += len(route) - r.topo.HopDistance(from, to)
+	}
+}
+
+// applyFault applies one scheduled fault at its kernel timestamp.
+func (r *netState) applyFault(pi int) {
+	f := r.plan[pi]
+	li := r.linkIdx[f.Link]
+	if !f.Dead {
+		if r.linkDown[li] {
+			return // degrading a dead link changes nothing
+		}
+		if !r.linkDegraded[li] {
+			r.linkDegraded[li] = true
+			r.fstats.DegradedLinks++
+		}
+		// RateFactor scales the link's configured rate; a later fault on
+		// the same link overrides an earlier one rather than compounding.
+		if err := r.prods[li].SetRate(r.linkRate * f.RateFactor); err != nil {
+			r.fail(err)
+		}
+		return
+	}
+	if r.linkDown[li] {
+		return
+	}
+	r.linkDown[li] = true
+	r.fstats.FailedLinks++
+	r.prods[li].Halt()
+	r.clearRoutes()
+	// Teleports queued on the dying link re-route from where they stand.
+	// A request whose pair already left the buffer is not pending any
+	// more: that grant event is en route and the teleport crosses on the
+	// last pair out.
+	for ts := range r.tele {
+		s := &r.tele[ts]
+		if !s.waiting || s.hop >= len(s.route) || r.linkIdx[s.route[s.hop]] != li {
+			continue
+		}
+		if !r.bufs[li].CancelAcquireFire(r, 2*r.total+2*ts) {
+			continue
+		}
+		s.waiting = false
+		ci := r.flat[s.fi].circuit
+		now := float64(r.k.Now())
+		r.netBlocked[ci] += now - s.hopReady
+		cur := s.route[s.hop].From
+		nr := r.route(cur, s.dest)
+		if r.replayErr != nil {
+			return
+		}
+		r.fstats.InFlightReroutes++
+		r.fstats.DetourHops += len(nr) - r.topo.HopDistance(cur, s.dest)
+		s.route, s.hop = nr, 0
+		r.teleStep(ts)
+	}
 }
 
 // spawnTele claims a pooled teleport state and starts its first hop.
@@ -200,12 +321,15 @@ func (r *netState) spawnTele(fi int, route []Link, ret bool) {
 		ts = len(r.tele)
 		r.tele = append(r.tele, teleState{})
 	}
-	r.tele[ts] = teleState{fi: fi, route: route, ret: ret}
+	r.tele[ts] = teleState{fi: fi, route: route, ret: ret, dest: route[len(route)-1].To}
 	r.teleStep(ts)
 }
 
 // teleStep requests the current hop's EPR pair, or resolves the teleport
-// when the route is exhausted.
+// when the route is exhausted.  Under an active fault plan the planned hop
+// is re-checked against the link-status table first: a teleport headed for a
+// link that died while it was in transit re-resolves from its current tile
+// instead of queueing on a dead channel forever.
 func (r *netState) teleStep(ts int) {
 	s := &r.tele[ts]
 	if s.hop == len(s.route) {
@@ -219,8 +343,20 @@ func (r *netState) teleStep(ts int) {
 		}
 		return
 	}
-	s.hopReady = float64(r.k.Now())
 	l := s.route[s.hop]
+	if r.faulted && r.linkDown[r.linkIdx[l]] {
+		cur := l.From
+		nr := r.route(cur, s.dest)
+		if r.replayErr != nil {
+			return
+		}
+		r.fstats.InFlightReroutes++
+		r.fstats.DetourHops += len(nr) - r.topo.HopDistance(cur, s.dest)
+		s.route, s.hop = nr, 0
+		l = nr[0]
+	}
+	s.hopReady = float64(r.k.Now())
+	s.waiting = true
 	r.bufs[r.linkIdx[l]].AcquireFire(1, r, 2*r.total+2*ts)
 }
 
@@ -228,11 +364,15 @@ func (r *netState) teleStep(ts int) {
 // ancillae from the departing tile's zero supply, then transit.
 func (r *netState) teleGranted(ts int) {
 	s := &r.tele[ts]
+	s.waiting = false
 	ci := r.flat[s.fi].circuit
 	res := &r.run.Results[ci]
 	l := s.route[s.hop]
 	granted := float64(r.k.Now())
 	r.netBlocked[ci] += granted - s.hopReady
+	if r.faulted && r.linkDegraded[r.linkIdx[l]] {
+		r.fstats.DegradedWaitUs += granted - s.hopReady
+	}
 	depart := granted
 	if r.teleAnc > 0 {
 		if t := r.pools[l.From].AvailableAt(r.teleAnc); t > depart {
@@ -304,8 +444,14 @@ func (r *netState) launchReturns(fi int) {
 	p.retDone = p.execDone
 	for _, route := range p.moves {
 		back := r.route(route[len(route)-1].To, route[0].From)
+		if r.replayErr != nil {
+			return
+		}
 		res.Teleports++
 		res.HopHistogram[len(back)]++
+		if r.faulted {
+			r.noteSpawn(back)
+		}
 		r.spawnTele(fi, back, true)
 	}
 }
@@ -377,6 +523,9 @@ func (r *netState) dispatch() {
 				p.moves = append(p.moves, r.route(from, execTile))
 			}
 		}
+		if r.replayErr != nil {
+			return
+		}
 		start := item.Ready
 		if len(p.moves) == 0 {
 			r.finishGate(fi, r.issueGate(ci, g, start, execTile))
@@ -388,6 +537,9 @@ func (r *netState) dispatch() {
 		for _, route := range p.moves {
 			res.Teleports++
 			res.HopHistogram[len(route)]++
+			if r.faulted {
+				r.noteSpawn(route)
+			}
 			r.spawnTele(fi, route, false)
 		}
 	}
@@ -434,10 +586,13 @@ func (r *netState) grow(total, circuits, tiles int) {
 	}
 	if cap(r.routes) < tiles*tiles {
 		r.routes = make([][]Link, tiles*tiles)
+		r.rerouted = make([]bool, tiles*tiles)
 	}
 	r.routes = r.routes[:tiles*tiles]
+	r.rerouted = r.rerouted[:tiles*tiles]
 	for i := range r.routes {
 		r.routes[i] = nil
+		r.rerouted[i] = false
 	}
 	r.tele = r.tele[:0]
 	r.teleFree = r.teleFree[:0]
@@ -460,6 +615,13 @@ func ReplayShared(cs []*quantum.Circuit, cfg Config) (ReplayRun, error) {
 	topo := NewTopology(len(cfg.Machine.Tiles))
 	nTiles := topo.TileCount()
 	maxDist := topo.Cols + topo.Rows - 1
+	faulted := len(cfg.Faults) > 0
+	if faulted && nTiles > maxDist {
+		// Detours may be longer than any Manhattan distance; a BFS route
+		// is still bounded by the tile count.  Zero-fault histograms keep
+		// their original size, preserving byte identity.
+		maxDist = nTiles
+	}
 
 	run := ReplayRun{
 		Topology:   topo,
@@ -479,7 +641,7 @@ func ReplayShared(cs []*quantum.Circuit, cfg Config) (ReplayRun, error) {
 
 	r := netStatePool.Get().(*netState)
 	defer func() {
-		r.k, r.rq, r.cs, r.run = nil, nil, nil, nil
+		r.k, r.rq, r.cs, r.run, r.plan = nil, nil, nil, nil, nil
 		for i := range r.dags {
 			r.dags[i] = nil
 		}
@@ -492,6 +654,8 @@ func ReplayShared(cs []*quantum.Circuit, cfg Config) (ReplayRun, error) {
 	r.teleUs = float64(cfg.Machine.Movement.TeleportUs)
 	r.ballUs = float64(cfg.Machine.Movement.BallisticPerGateUs)
 	r.finished, r.makespan, r.dispatchScheduled = 0, 0, false
+	r.faulted, r.plan = faulted, cfg.Faults
+	r.fstats, r.replayErr = FaultStats{}, nil
 	r.grow(total, len(cs), nTiles)
 
 	fi := 0
@@ -559,27 +723,73 @@ func ReplayShared(cs []*quantum.Circuit, cfg Config) (ReplayRun, error) {
 		clear(r.linkIdx)
 	}
 	linkRatePerUs := cfg.linkRatePerMs() / 1000.0
+	r.linkRate = linkRatePerUs
+	if faulted {
+		if cap(r.linkDown) < len(links) {
+			r.linkDown = make([]bool, len(links))
+			r.linkDegraded = make([]bool, len(links))
+		}
+		r.linkDown = r.linkDown[:len(links)]
+		r.linkDegraded = r.linkDegraded[:len(links)]
+		for i := range r.linkDown {
+			r.linkDown[i], r.linkDegraded[i] = false, false
+		}
+	}
 	for i, l := range links {
 		r.linkIdx[l] = i
+		rate, dead := linkRatePerUs, false
+		if faulted {
+			// Static faults (At == 0) shape the link before the run
+			// starts; a later plan entry on the same link overrides an
+			// earlier one.
+			for _, f := range cfg.Faults {
+				if f.At != 0 || f.Link != l {
+					continue
+				}
+				if f.Dead {
+					dead = true
+				} else {
+					rate = linkRatePerUs * f.RateFactor
+				}
+			}
+			if dead {
+				r.linkDown[i] = true
+				r.fstats.FailedLinks++
+			} else if rate != linkRatePerUs {
+				r.linkDegraded[i] = true
+				r.fstats.DegradedLinks++
+			}
+		}
 		name := "EPR link " + l.String()
 		if i < len(r.bufs) {
 			r.bufs[i].Reset(r.k, name, cfg.LinkBufferPairs)
-			if err := r.prods[i].Reset(r.k, name, r.bufs[i], linkRatePerUs, 1); err != nil {
+			if err := r.prods[i].Reset(r.k, name, r.bufs[i], rate, 1); err != nil {
 				return ReplayRun{}, err
 			}
 		} else {
 			buf := sim.NewResource(r.k, name, cfg.LinkBufferPairs)
-			prod, err := sim.NewProducer(r.k, name, buf, linkRatePerUs, 1)
+			prod, err := sim.NewProducer(r.k, name, buf, rate, 1)
 			if err != nil {
 				return ReplayRun{}, err
 			}
 			r.bufs = append(r.bufs, buf)
 			r.prods = append(r.prods, prod)
 		}
-		r.prods[i].Start()
+		// A statically dead link's generator never starts: the channel
+		// stays empty and every route avoids it from the first dispatch.
+		if !dead {
+			r.prods[i].Start()
+		}
 	}
 	r.bufs = r.bufs[:len(links)]
 	r.prods = r.prods[:len(links)]
+	// Scheduled faults fire as ordinary kernel events at their timestamps;
+	// one scheduled past the makespan never applies.
+	for pi, f := range cfg.Faults {
+		if f.At > 0 {
+			r.k.AtFire(f.At, sim.PriorityNormal, r, -2-pi)
+		}
+	}
 
 	for ci, d := range r.dags {
 		copy(r.indeg[r.offs[ci]:r.offs[ci]+len(d.InDegree)], d.InDegree)
@@ -593,6 +803,11 @@ func ReplayShared(cs []*quantum.Circuit, cfg Config) (ReplayRun, error) {
 	r.dispatchScheduled = true
 	stats := r.k.Run()
 
+	if r.replayErr != nil {
+		err := r.replayErr
+		obsRecordReplay(r.fstats, errors.Is(err, ErrPartitioned))
+		return ReplayRun{}, err
+	}
 	if r.finished != total {
 		return ReplayRun{}, fmt.Errorf("network: replay left %d gates unexecuted (cyclic dependence graph?)", total-r.finished)
 	}
@@ -603,6 +818,8 @@ func ReplayShared(cs []*quantum.Circuit, cfg Config) (ReplayRun, error) {
 	}
 	run.Makespan = iontrap.Microseconds(r.makespan)
 	run.Events = stats.Events
+	run.Faults = r.fstats
+	obsRecordReplay(r.fstats, false)
 	run.Links = make([]LinkStat, len(links))
 	for i, l := range links {
 		run.Links[i] = LinkStat{

@@ -153,6 +153,99 @@ func (t Topology) walk(a, b int, xFirst bool) ([]Link, bool) {
 	return route, true
 }
 
+// RouteAvoiding returns a route from a to b that crosses no link for which
+// down reports true, along with whether the route deviates from the
+// fault-free dimension-order choice.  The fallback ladder is deterministic:
+// the preferred dimension order (Route's choice), then the opposite order,
+// then a breadth-first detour over healthy links — always a shortest healthy
+// path, so a returned route is never longer than TileCount()-1 links.  When
+// the failures disconnect a from b it returns an error wrapping
+// ErrPartitioned.
+func (t Topology) RouteAvoiding(a, b int, down func(Link) bool) ([]Link, bool, error) {
+	if a == b {
+		return nil, false, nil
+	}
+	// The hole-aware baseline: exactly what Route would pick.
+	first, altOrder := []Link(nil), false
+	if r, ok := t.walk(a, b, true); ok {
+		first = r
+	} else {
+		first, _ = t.walk(a, b, false)
+		altOrder = true
+	}
+	if routeClear(first, down) {
+		return first, false, nil
+	}
+	// The other dimension order, when it stays on populated tiles.
+	if !altOrder {
+		if r, ok := t.walk(a, b, false); ok && routeClear(r, down) {
+			return r, true, nil
+		}
+	}
+	if r := t.bfsRoute(a, b, down); r != nil {
+		return r, true, nil
+	}
+	return nil, false, fmt.Errorf("network: no route from tile %d to tile %d over the surviving links: %w", a, b, ErrPartitioned)
+}
+
+// routeClear reports whether no link of the route is down.
+func routeClear(route []Link, down func(Link) bool) bool {
+	for _, l := range route {
+		if down(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// bfsRoute finds a shortest path over healthy links, expanding neighbours in
+// the same east, west, south, north order Links uses so ties resolve the
+// same way on every run.  nil means no path exists.
+func (t Topology) bfsRoute(a, b int, down func(Link) bool) []Link {
+	n := t.TileCount()
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[a] = a
+	queue := make([]int, 0, n)
+	queue = append(queue, a)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == b {
+			break
+		}
+		x, y := t.Coord(cur)
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || nx >= t.Cols || ny < 0 || ny >= t.Rows {
+				continue
+			}
+			next := t.Index(nx, ny)
+			if next >= n || prev[next] >= 0 || down(Link{From: cur, To: next}) {
+				continue
+			}
+			prev[next] = cur
+			queue = append(queue, next)
+		}
+	}
+	if prev[b] < 0 {
+		return nil
+	}
+	// Walk the predecessor chain back from b and reverse it into links.
+	hops := 0
+	for cur := b; cur != a; cur = prev[cur] {
+		hops++
+	}
+	route := make([]Link, hops)
+	for cur := b; cur != a; cur = prev[cur] {
+		hops--
+		route[hops] = Link{From: prev[cur], To: cur}
+	}
+	return route
+}
+
 // Links returns every directed link between adjacent populated tiles in a
 // stable order (ascending source tile; east, west, south, north neighbour),
 // which is what makes link-indexed replay state deterministic.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"speedofdata/internal/engine"
+	"speedofdata/internal/network"
 	"speedofdata/internal/noise"
 	"speedofdata/internal/obs"
 	"speedofdata/internal/sim"
@@ -22,10 +23,12 @@ func (s *Server) instrument(o *obs.Obs) {
 	s.obs = o
 	reg := o.Registry
 
-	// Engine, sim kernel and noise samplers register their own series.
+	// Engine, sim kernel, noise samplers and the interconnect fault layer
+	// register their own series.
 	s.exp.Engine.Instrument(reg)
 	sim.Instrument(reg)
 	noise.Instrument(reg)
+	network.Instrument(reg)
 
 	// Admission gate and rate limiter: live gauges plus the gate's counters.
 	reg.GaugeFunc("qsd_server_inflight",

@@ -18,6 +18,7 @@
 //	                           (ancilla/EPR buffer capacity of the
 //	                           event-driven scenarios; 0 = infinite), tiles
 //	                           (mesh tile bound of the network scenarios),
+//	                           faults (netdegrade boundary-failure bound),
 //	                           sparse / bitsliced (fig4 Monte Carlo
 //	                           executor), ci + conf (fig4 sequential
 //	                           sampling to a relative confidence-interval
@@ -50,6 +51,7 @@ import (
 
 	"speedofdata/internal/core"
 	"speedofdata/internal/engine"
+	"speedofdata/internal/network"
 	"speedofdata/internal/obs"
 	"speedofdata/internal/report"
 )
@@ -198,6 +200,7 @@ func (s *Server) queryParams(r *http.Request) (core.Experiments, core.RunParams,
 		"buckets": &p.Buckets,
 		"buffer":  &p.Buffer,
 		"tiles":   &p.Tiles,
+		"faults":  &p.Faults,
 	} {
 		if err := intParam(name, dst); err != nil {
 			return exp, p, err
@@ -266,6 +269,7 @@ func (s *Server) queryParams(r *http.Request) (core.Experiments, core.RunParams,
 		{"scale", p.MaxScale, maxRequestScale},
 		{"buffer", p.Buffer, maxRequestBuffer},
 		{"tiles", p.Tiles, maxRequestTiles},
+		{"faults", p.Faults, maxRequestFaults},
 	} {
 		if lim.got > lim.max {
 			return exp, p, fmt.Errorf("invalid %s: %d exceeds the server limit %d", lim.name, lim.got, lim.max)
@@ -291,6 +295,7 @@ const (
 	maxRequestScale  = 4096
 	maxRequestBuffer = 1_000_000
 	maxRequestTiles  = 64
+	maxRequestFaults = 64
 	// minRequestCI and maxRequestConfidence bound the sequential-sampling
 	// precision a client may request (both tighten the stopping rule; the
 	// trial cap still bounds the worst case at maxTrials).
@@ -359,6 +364,12 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.QueueTimeout))
 			writeError(w, http.StatusServiceUnavailable,
 				"request exceeded the server's %v execution deadline", s.cfg.RequestTimeout)
+			return
+		}
+		if errors.Is(err, network.ErrPartitioned) {
+			// The requested fault plan disconnects the mesh: a property of
+			// the request, not a server failure.
+			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, "%v", err)

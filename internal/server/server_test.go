@@ -423,6 +423,7 @@ func TestParamBoundsTable(t *testing.T) {
 		{"max-scale", fmt.Sprintf("max-scale=%d", maxRequestScale+1), fmt.Sprintf("max-scale=%d", maxRequestScale), "server limit"},
 		{"buffer", fmt.Sprintf("buffer=%d", maxRequestBuffer+1), fmt.Sprintf("buffer=%d", maxRequestBuffer), "server limit"},
 		{"tiles", fmt.Sprintf("tiles=%d", maxRequestTiles+1), fmt.Sprintf("tiles=%d", maxRequestTiles), "server limit"},
+		{"faults", fmt.Sprintf("faults=%d", maxRequestFaults+1), fmt.Sprintf("faults=%d", maxRequestFaults), "server limit"},
 		{"ci", fmt.Sprintf("ci=%v", minRequestCI/2), fmt.Sprintf("ci=%v", minRequestCI), "server minimum"},
 		{"conf", fmt.Sprintf("ci=0.1&conf=%v", (1+maxRequestConfidence)/2), fmt.Sprintf("ci=0.1&conf=%v", maxRequestConfidence), "server maximum"},
 	}
@@ -588,6 +589,64 @@ func TestNetworkScenarioEndpoints(t *testing.T) {
 	status, _, _ = get(t, ts.URL+"/v1/experiments/netcontention?format=json&bits=4&tiles=1")
 	if status != http.StatusOK {
 		t.Errorf("netcontention tiles=1 (degenerate mesh): status %d", status)
+	}
+}
+
+// TestFaultScenarioEndpoints serves the interconnect fault scenarios over
+// HTTP: netfault's three arms and netdegrade's failure sweep answer on a
+// 4-tile mesh, a fault plan that disconnects the mesh surfaces as a 400 with
+// the typed partition error, and the faults parameter is validated and
+// bounded like tiles.
+func TestFaultScenarioEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	status, body, _ := get(t, ts.URL+"/v1/experiments/netfault?format=text&bits=4&tiles=4")
+	if status != http.StatusOK || !strings.Contains(body, "4-tile mesh") {
+		t.Errorf("netfault not honoured (status %d):\n%s", status, body)
+	}
+	for _, arm := range []string{"none", "degraded-25%", "dead-bisection-link"} {
+		if !strings.Contains(body, arm) {
+			t.Errorf("netfault report misses the %q arm:\n%s", arm, body)
+		}
+	}
+
+	status, body, _ = get(t, ts.URL+"/v1/experiments/netdegrade?format=text&bits=4&tiles=4&faults=4")
+	if status != http.StatusOK || !strings.Contains(body, "until partition") {
+		t.Errorf("netdegrade not honoured (status %d):\n%s", status, body)
+	}
+	if !strings.Contains(body, "true") {
+		t.Errorf("netdegrade sweep to 4 failures should reach the partition point:\n%s", body)
+	}
+
+	// A 2-tile mesh has only the bisection boundary: the dead-link arm
+	// disconnects it, and the typed error surfaces as a client fault.
+	status, body, _ = get(t, ts.URL+"/v1/experiments/netfault?bits=4&tiles=2")
+	if status != http.StatusBadRequest || !strings.Contains(body, "partitioned") {
+		t.Errorf("partitioned netfault: status %d, want 400 naming the partition: %s", status, body)
+	}
+
+	// The faults parameter is validated and bounded like tiles.
+	cases := []struct {
+		name  string
+		query string
+		body  string
+	}{
+		{"negative faults", "faults=-1", "faults must be non-negative"},
+		{"oversized faults", "faults=65", "server limit"},
+		{"malformed faults", "faults=many", "invalid faults"},
+	}
+	for _, tc := range cases {
+		status, body, _ := get(t, ts.URL+"/v1/experiments/netdegrade?bits=4&"+tc.query)
+		if status != http.StatusBadRequest || !strings.Contains(body, tc.body) {
+			t.Errorf("%s: status %d, body %q, want 400 mentioning %q", tc.name, status, body, tc.body)
+		}
+	}
+
+	// Aliases resolve on the HTTP surface too.
+	for _, alias := range []string{"network-fault?format=json&bits=4&tiles=4", "network-degrade?format=json&bits=4&tiles=4&faults=1"} {
+		if status, body, _ := get(t, ts.URL+"/v1/experiments/"+alias); status != http.StatusOK {
+			t.Errorf("alias %s: status %d: %s", alias, status, body)
+		}
 	}
 }
 

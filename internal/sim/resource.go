@@ -225,6 +225,23 @@ func (r *Resource) drain() {
 	}
 }
 
+// CancelAcquireFire withdraws a pending AcquireFire identified by its
+// handler and payload, preserving the FIFO order of the remaining requests.
+// It reports whether a matching request was still pending: false means the
+// demand was already fully delivered (the completion event is en route and
+// will fire), so the caller must let that grant stand.  Fault injection uses
+// this to pull teleports off a dying link without disturbing grants that
+// already escaped.
+func (r *Resource) CancelAcquireFire(h Handler, idx int) bool {
+	for i := range r.pending {
+		if r.pending[i].h == h && r.pending[i].idx == idx {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // OnSpace registers a one-shot callback invoked the next time buffered
 // quantity is consumed (i.e. space frees up).  Producers use it to resume
 // after stalling on a full buffer.
@@ -268,6 +285,7 @@ type Producer struct {
 	stalledAt iontrap.Microseconds
 	stallUs   iontrap.Microseconds
 	emitted   float64
+	halted    bool
 }
 
 // NewProducer builds a producer emitting batch units into out every
@@ -308,6 +326,30 @@ func (p *Producer) Fire(idx int) {
 // Start schedules the first completion one interval from now.
 func (p *Producer) Start() { p.k.AfterFire(p.interval, PriorityNormal, p, producerTick) }
 
+// Halt stops production permanently: completions already scheduled fire but
+// emit nothing, and no further completions are scheduled.  A stall in
+// progress is closed so StallTime stops growing.  Link-failure injection
+// halts the dead link's EPR generator with this.
+func (p *Producer) Halt() {
+	p.halted = true
+	if p.stalled {
+		p.stalled = false
+		p.stallUs += p.k.Now() - p.stalledAt
+	}
+}
+
+// SetRate changes the production rate for completions scheduled from now on;
+// a completion already in flight still arrives on the old cadence.  A
+// non-positive rate returns ErrZeroRate (use Halt to stop production).
+// EPR-rate degradation faults retune the link generator with this.
+func (p *Producer) SetRate(ratePerUs float64) error {
+	if !(ratePerUs > 0) {
+		return fmt.Errorf("producer %q rate %v: %w", p.Name, ratePerUs, ErrZeroRate)
+	}
+	p.interval = iontrap.Microseconds(p.batch / ratePerUs)
+	return nil
+}
+
 // Reset re-initialises the producer for a new run, keeping its identity.
 func (p *Producer) Reset(k *Kernel, name string, out *Resource, ratePerUs, batch float64) error {
 	if !(ratePerUs > 0) {
@@ -336,6 +378,9 @@ func (p *Producer) Emitted() float64 { return p.emitted }
 
 // tick is one production completion.
 func (p *Producer) tick() {
+	if p.halted {
+		return
+	}
 	p.emitted += p.batch
 	p.held += p.batch
 	p.flush()
@@ -362,4 +407,9 @@ func (p *Producer) flush() {
 }
 
 // wake retries the deposit after space freed up.
-func (p *Producer) wake() { p.flush() }
+func (p *Producer) wake() {
+	if p.halted {
+		return
+	}
+	p.flush()
+}
